@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks over the FUSE request path (wall-clock).
+//!
+//! These measure the *implementation* (real time per simulated operation),
+//! complementing the virtual-time figure regenerations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cntr_fs::memfs::memfs;
+use cntr_fs::{Filesystem, FsContext};
+use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, InlineTransport};
+use cntr_types::{CostModel, DevId, FileType, Ino, Mode, OpenFlags, SimClock};
+use std::sync::Arc;
+
+fn mounted() -> Arc<FuseClientFs> {
+    let clock = SimClock::new();
+    let backing = memfs(DevId(1), clock.clone());
+    let transport = InlineTransport::new(FsHandler::new(backing));
+    FuseClientFs::mount(
+        DevId(100),
+        clock,
+        CostModel::calibrated(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .expect("mount")
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let fs = mounted();
+    let ctx = FsContext::root();
+    for i in 0..64 {
+        fs.mkdir(Ino::ROOT, &format!("d{i}"), Mode::RWXR_XR_X, &ctx)
+            .unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("fuse_lookup_cached", |b| {
+        b.iter(|| {
+            i += 1;
+            fs.lookup(Ino::ROOT, &format!("d{}", i % 64)).unwrap()
+        })
+    });
+}
+
+fn bench_read_cached(c: &mut Criterion) {
+    let fs = mounted();
+    let ctx = FsContext::root();
+    let st = fs
+        .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+        .unwrap();
+    let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+    fs.write(st.ino, fh, 0, &vec![7u8; 1 << 20]).unwrap();
+    let mut buf = vec![0u8; 4096];
+    let mut off = 0u64;
+    c.bench_function("fuse_read_4k_readahead", |b| {
+        b.iter(|| {
+            let n = fs.read(st.ino, fh, off % (1 << 20), &mut buf).unwrap();
+            off += n as u64;
+            n
+        })
+    });
+}
+
+fn bench_write(c: &mut Criterion) {
+    let fs = mounted();
+    let ctx = FsContext::root();
+    let st = fs
+        .mknod(Ino::ROOT, "w", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+        .unwrap();
+    let fh = fs.open(st.ino, OpenFlags::WRONLY).unwrap();
+    let data = vec![1u8; 4096];
+    let mut off = 0u64;
+    c.bench_function("fuse_write_4k", |b| {
+        b.iter(|| {
+            let n = fs.write(st.ino, fh, off % (8 << 20), &data).unwrap();
+            off += n as u64;
+            n
+        })
+    });
+}
+
+fn bench_getxattr_uncached(c: &mut Criterion) {
+    let fs = mounted();
+    let ctx = FsContext::root();
+    let st = fs
+        .mknod(Ino::ROOT, "x", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+        .unwrap();
+    c.bench_function("fuse_getxattr_roundtrip", |b| {
+        b.iter(|| fs.getxattr(st.ino, "security.capability").is_err())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_read_cached,
+    bench_write,
+    bench_getxattr_uncached
+);
+criterion_main!(benches);

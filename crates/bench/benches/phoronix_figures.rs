@@ -1,0 +1,37 @@
+//! Criterion wrappers around the figure regenerations: wall-clock cost of
+//! reproducing each experiment end to end (sample size kept minimal — each
+//! iteration builds machines and runs full workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cntr_fuse::FuseConfig;
+use cntr_phoronix::{run_workload, Workload};
+use cntr_xfstests::harness::run_suite;
+use cntr_xfstests::{all_tests, cntrfs_over_tmpfs};
+
+fn bench_workload_compile_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2_compilebench_read_pair", |b| {
+        b.iter(|| run_workload(Workload::CompileBenchRead, FuseConfig::optimized()).overhead())
+    });
+    g.bench_function("fig2_postmark_pair", |b| {
+        b.iter(|| run_workload(Workload::Postmark, FuseConfig::optimized()).overhead())
+    });
+    g.finish();
+}
+
+fn bench_xfstests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suites");
+    g.sample_size(10);
+    let cases = all_tests();
+    g.bench_function("xfstests_cntrfs_full", |b| {
+        b.iter(|| {
+            let env = cntrfs_over_tmpfs();
+            run_suite(&env, &cases).passed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload_compile_read, bench_xfstests);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Figure 2: relative CntrFS overhead for the Phoronix suite.
+
+use cntr_phoronix::figure2;
+
+fn main() {
+    println!("Figure 2 — relative performance overhead (CntrFS / native, virtual time)");
+    println!("{:-<78}", "");
+    println!("{:<24}{:>10}{:>10}{:>12}  times (native / cntrfs)", "benchmark", "measured", "paper", "in band?");
+    let rows = figure2();
+    let mut in_band = 0;
+    for r in &rows {
+        if r.in_band() {
+            in_band += 1;
+        }
+        println!(
+            "{:<24}{:>9.2}x{:>9.1}x{:>12}  {} / {}",
+            r.name,
+            r.overhead(),
+            r.paper,
+            if r.in_band() { "yes" } else { "NO" },
+            r.native,
+            r.cntrfs
+        );
+    }
+    println!("{:-<78}", "");
+    let below = rows.iter().filter(|r| r.overhead() < 1.5).count();
+    println!(
+        "{in_band}/{} rows within their accepted band; {below}/{} below 1.5x (paper: 13/20)",
+        rows.len(),
+        rows.len()
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 5 and the §5.3 statistics: Docker Slim on the Top-50.
+
+use cntr_slim::corpus::{figure5_stats, run_figure5};
+
+fn main() {
+    let reports = run_figure5();
+    println!("Figure 5 — container size reduction, Top-50 images (docker-slim)");
+    println!("{:-<66}", "");
+    // Histogram in 10%-wide buckets, as the paper plots it.
+    let mut buckets = [0u32; 10];
+    for r in &reports {
+        let b = (r.reduction_percent() / 10.0).floor().clamp(0.0, 9.0) as usize;
+        buckets[b] += 1;
+    }
+    for (i, count) in buckets.iter().enumerate() {
+        println!(
+            "{:>3}-{:>3}% | {:<3} {}",
+            i * 10,
+            i * 10 + 10,
+            count,
+            "#".repeat(*count as usize)
+        );
+    }
+    println!("{:-<66}", "");
+    let stats = figure5_stats(&reports);
+    println!(
+        "mean reduction: {:.1}% (paper: 66.6%)\nimages below 10%: {} (paper: 6, the Go single-binary images)\nfraction reduced 60-97%: {:.0}% (paper: >75%)",
+        stats.mean_reduction,
+        stats.below_10,
+        stats.frac_60_to_97 * 100.0
+    );
+    let mut sorted: Vec<_> = reports.iter().collect();
+    sorted.sort_by(|a, b| a.reduction_percent().partial_cmp(&b.reduction_percent()).unwrap());
+    println!("\nsmallest reductions:");
+    for r in sorted.iter().take(6) {
+        println!(
+            "  {:<18} {:>6.1}%  ({} -> {} bytes)",
+            r.reference,
+            r.reduction_percent(),
+            r.original_bytes,
+            r.slim_bytes
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every table and figure of the CNTR paper.
+//!
+//! One binary per artifact:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig2_phoronix` | Figure 2 — relative Phoronix overheads |
+//! | `fig3_optimizations` | Figure 3 — per-optimization ablations |
+//! | `fig4_multithreading` | Figure 4 — throughput vs worker threads |
+//! | `fig5_docker_slim` | Figure 5 + §5.3 — Top-50 size reductions |
+//! | `tab_xfstests` | §5.1 — the 90/94 xfstests table |
+//!
+//! `cargo bench` additionally runs criterion microbenchmarks over the FUSE
+//! request path and full figure regenerations on wall-clock time.

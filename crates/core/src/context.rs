@@ -1,0 +1,196 @@
+//! Step #1: gather the container's execution context from `/proc`.
+//!
+//! "CNTR reads this information by inspecting the /proc filesystem of the
+//! main process within the container" (paper §3.2.1). This module does the
+//! same against the simulated kernel: it opens and parses
+//! `/proc/<pid>/{status,environ,cgroup}` and `/proc/<pid>/ns/*` through
+//! ordinary file reads, rather than using any privileged kernel API —
+//! keeping CNTR portable across container engines.
+
+use cntr_kernel::{Kernel, NamespaceId};
+use cntr_types::{Errno, Mode, OpenFlags, Pid, SysResult};
+use std::collections::BTreeMap;
+
+/// Everything CNTR needs to know before attaching.
+#[derive(Debug, Clone)]
+pub struct ContainerContext {
+    /// The container's main process.
+    pub pid: Pid,
+    /// Command name.
+    pub name: String,
+    /// Environment variables (heavily used for configuration and service
+    /// discovery; paper cites the Twelve-Factor App).
+    pub env: BTreeMap<String, String>,
+    /// Cgroup path.
+    pub cgroup: String,
+    /// Mount namespace id.
+    pub mnt_ns: NamespaceId,
+    /// Pid namespace id.
+    pub pid_ns: NamespaceId,
+    /// Effective capability mask (hex, as printed by `/proc/.../status`).
+    pub cap_eff: u64,
+    /// Bounding capability mask.
+    pub cap_bnd: u64,
+    /// Uid of the main process.
+    pub uid: u32,
+    /// Gid of the main process.
+    pub gid: u32,
+}
+
+fn read_proc_file(kernel: &Kernel, observer: Pid, path: &str) -> SysResult<Vec<u8>> {
+    let fd = kernel.open(observer, path, OpenFlags::RDONLY, Mode::RW_R__R__)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = kernel.read_fd(observer, fd, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    kernel.close(observer, fd)?;
+    Ok(out)
+}
+
+fn parse_status_field<'a>(status: &'a str, key: &str) -> Option<&'a str> {
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(key))
+        .map(|v| v.trim())
+}
+
+fn parse_ns_id(content: &str) -> SysResult<NamespaceId> {
+    // Format: "mnt:[4026531840]".
+    let open = content.find('[').ok_or(Errno::EPROTO)?;
+    let close = content.find(']').ok_or(Errno::EPROTO)?;
+    content[open + 1..close]
+        .parse::<u64>()
+        .map(NamespaceId)
+        .map_err(|_| Errno::EPROTO)
+}
+
+impl ContainerContext {
+    /// Gathers the context of `target` by reading `/proc` as `observer`.
+    ///
+    /// `observer` must be able to see `target` in its `/proc` (i.e. share
+    /// or parent the target's pid namespace view — on the host this is
+    /// always true).
+    pub fn gather(kernel: &Kernel, observer: Pid, target: Pid) -> SysResult<ContainerContext> {
+        let base = format!("/proc/{target}");
+
+        let status = String::from_utf8_lossy(&read_proc_file(
+            kernel,
+            observer,
+            &format!("{base}/status"),
+        )?)
+        .to_string();
+        let name = parse_status_field(&status, "Name:")
+            .unwrap_or("unknown")
+            .to_string();
+        let uid = parse_status_field(&status, "Uid:")
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let gid = parse_status_field(&status, "Gid:")
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let cap_eff = parse_status_field(&status, "CapEff:")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .unwrap_or(0);
+        let cap_bnd = parse_status_field(&status, "CapBnd:")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .unwrap_or(0);
+
+        let environ = read_proc_file(kernel, observer, &format!("{base}/environ"))?;
+        let mut env = BTreeMap::new();
+        for chunk in environ.split(|&b| b == 0).filter(|c| !c.is_empty()) {
+            let text = String::from_utf8_lossy(chunk);
+            if let Some((k, v)) = text.split_once('=') {
+                env.insert(k.to_string(), v.to_string());
+            }
+        }
+
+        let cgroup_raw = String::from_utf8_lossy(&read_proc_file(
+            kernel,
+            observer,
+            &format!("{base}/cgroup"),
+        )?)
+        .to_string();
+        let cgroup = cgroup_raw
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("0::"))
+            .unwrap_or("/")
+            .to_string();
+
+        let mnt_ns = parse_ns_id(&String::from_utf8_lossy(&read_proc_file(
+            kernel,
+            observer,
+            &format!("{base}/ns/mnt"),
+        )?))?;
+        let pid_ns = parse_ns_id(&String::from_utf8_lossy(&read_proc_file(
+            kernel,
+            observer,
+            &format!("{base}/ns/pid"),
+        )?))?;
+
+        Ok(ContainerContext {
+            pid: target,
+            name,
+            env,
+            cgroup,
+            mnt_ns,
+            pid_ns,
+            cap_eff,
+            cap_bnd,
+            uid,
+            gid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntr_engine::runtime::boot_host;
+    use cntr_engine::{ContainerRuntime, EngineKind, Registry};
+    use cntr_engine::image::ImageBuilder;
+    use cntr_types::SimClock;
+
+    #[test]
+    fn gather_reads_container_context_via_proc() {
+        let k = boot_host(SimClock::new());
+        let registry = Registry::new();
+        registry.push(
+            ImageBuilder::new("redis", "7")
+                .layer("base")
+                .binary("/usr/bin/redis-server", 10_000_000, &[])
+                .env("REDIS_PORT", "6379")
+                .entrypoint("/usr/bin/redis-server")
+                .build(),
+        );
+        let rt = ContainerRuntime::new(EngineKind::Docker, k.clone(), registry);
+        let c = rt.run("cache", "redis:7").unwrap();
+
+        let ctx = ContainerContext::gather(&k, Pid::INIT, c.pid).unwrap();
+        assert_eq!(ctx.pid, c.pid);
+        assert_eq!(ctx.name, "redis-server");
+        assert_eq!(ctx.env.get("REDIS_PORT").map(String::as_str), Some("6379"));
+        assert!(ctx.cgroup.starts_with("/docker/"));
+        // The container has its own mount namespace, distinct from the host.
+        let host = ContainerContext::gather(&k, Pid::INIT, Pid::INIT).unwrap();
+        assert_ne!(ctx.mnt_ns, host.mnt_ns);
+        assert_ne!(ctx.pid_ns, host.pid_ns);
+        // The docker bounding set is a strict subset of the host's.
+        assert!(ctx.cap_bnd != 0);
+        assert!(ctx.cap_bnd & !host.cap_bnd == 0);
+        assert!(ctx.cap_bnd != host.cap_bnd);
+    }
+
+    #[test]
+    fn gather_missing_process_fails() {
+        let k = boot_host(SimClock::new());
+        assert!(ContainerContext::gather(&k, Pid::INIT, Pid(999)).is_err());
+    }
+}

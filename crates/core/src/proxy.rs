@@ -1,0 +1,216 @@
+//! Unix-socket forwarding (paper §3.2.4).
+//!
+//! A socket file served through CntrFS has different inode numbers than the
+//! real socket, so "the kernel does not associate them with open sockets in
+//! the system" — `connect(2)` through the FUSE view fails. CNTR therefore
+//! runs a proxy: it listens on a socket *inside* the application container,
+//! connects to the real server in the debug container or on the host, and
+//! moves bytes with an epoll event loop and `splice`.
+
+use cntr_kernel::epoll::Events;
+use cntr_kernel::Kernel;
+use cntr_types::{Pid, SysResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct Forwarded {
+    /// Fd of the accepted client connection (in the proxy process).
+    client: u32,
+    /// Fd of the upstream connection (passed into the proxy process).
+    upstream: u32,
+    closed: bool,
+}
+
+/// A bidirectional Unix-socket forwarder.
+pub struct SocketProxy {
+    kernel: Kernel,
+    /// The proxy process (lives in the nested namespace, accepts there).
+    proxy_pid: Pid,
+    /// A process in the server namespace used to originate upstream
+    /// connections (the CntrFS server process).
+    connect_pid: Pid,
+    /// Path the proxy listens on (inside the app container).
+    pub listen_path: String,
+    /// Path of the real server socket (in the server namespace).
+    pub target_path: String,
+    listener_fd: u32,
+    epoll_fd: u32,
+    conns: Mutex<Vec<Forwarded>>,
+}
+
+impl SocketProxy {
+    /// Binds `listen_path` in the proxy process's namespace and prepares to
+    /// forward to `target_path` in the connect process's namespace.
+    pub fn new(
+        kernel: Kernel,
+        proxy_pid: Pid,
+        connect_pid: Pid,
+        listen_path: &str,
+        target_path: &str,
+    ) -> SysResult<Arc<SocketProxy>> {
+        let listener_fd = kernel.bind_listener(proxy_pid, listen_path)?;
+        let epoll_fd = kernel.epoll_create(proxy_pid)?;
+        kernel.epoll_add(proxy_pid, epoll_fd, listener_fd, 0, Events::IN)?;
+        Ok(Arc::new(SocketProxy {
+            kernel,
+            proxy_pid,
+            connect_pid,
+            listen_path: listen_path.to_string(),
+            target_path: target_path.to_string(),
+            listener_fd,
+            epoll_fd,
+            conns: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Number of live forwarded connections.
+    pub fn connections(&self) -> usize {
+        self.conns.lock().iter().filter(|c| !c.closed).count()
+    }
+
+    /// One iteration of the event loop: accept pending connections, then
+    /// splice every readable direction. Returns bytes moved.
+    pub fn pump(&self) -> SysResult<usize> {
+        let k = &self.kernel;
+        // Accept new clients and dial upstream for each.
+        while let Ok(client) = k.accept(self.proxy_pid, self.listener_fd) {
+            let upstream_remote = k.connect(self.connect_pid, &self.target_path)?;
+            // Bring the upstream fd into the proxy process (SCM_RIGHTS) so
+            // one process owns both ends, as the real proxy does.
+            let upstream = k.send_fd(self.connect_pid, upstream_remote, self.proxy_pid)?;
+            k.close(self.connect_pid, upstream_remote)?;
+            let token = 1 + self.conns.lock().len() as u64;
+            let _ = k.epoll_add(self.proxy_pid, self.epoll_fd, client, token * 2, Events::IN);
+            let _ = k.epoll_add(
+                self.proxy_pid,
+                self.epoll_fd,
+                upstream,
+                token * 2 + 1,
+                Events::IN,
+            );
+            self.conns.lock().push(Forwarded {
+                client,
+                upstream,
+                closed: false,
+            });
+        }
+
+        // Splice data for every ready direction.
+        let ready = k.epoll_wait(self.proxy_pid, self.epoll_fd)?;
+        let mut moved = 0usize;
+        let mut conns = self.conns.lock();
+        for (token, ev) in ready {
+            if token == 0 || !ev.readable {
+                continue;
+            }
+            let idx = (token / 2 - 1) as usize;
+            let Some(conn) = conns.get_mut(idx) else {
+                continue;
+            };
+            if conn.closed {
+                continue;
+            }
+            let (from, to) = if token % 2 == 0 {
+                (conn.client, conn.upstream)
+            } else {
+                (conn.upstream, conn.client)
+            };
+            loop {
+                match k.splice(self.proxy_pid, from, to, 64 * 1024) {
+                    Ok(0) => {
+                        // Orderly shutdown of one side: close the pair.
+                        let _ = k.close(self.proxy_pid, conn.client);
+                        let _ = k.close(self.proxy_pid, conn.upstream);
+                        conn.closed = true;
+                        break;
+                    }
+                    Ok(n) => moved += n,
+                    Err(cntr_types::Errno::EAGAIN) => break,
+                    Err(_) => {
+                        conn.closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Pumps until no more progress is made (quiesces in-flight data).
+    pub fn pump_until_quiet(&self) -> SysResult<usize> {
+        let mut total = 0;
+        loop {
+            let moved = self.pump()?;
+            total += moved;
+            if moved == 0 {
+                return Ok(total);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntr_engine::runtime::boot_host;
+    use cntr_types::SimClock;
+
+    #[test]
+    fn forwards_both_directions() {
+        let k = boot_host(SimClock::new());
+        // The "X11 server" listens on the host.
+        let x11 = k.bind_listener(Pid::INIT, "/run/x11.sock").unwrap();
+        // The proxy process (stands in for the attached cntr process).
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        k.mkdir(Pid::INIT, "/app-run", cntr_types::Mode::RWXR_XR_X)
+            .unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/app-run/x11.sock",
+            "/run/x11.sock",
+        )
+        .unwrap();
+
+        // An application client connects to the proxied socket.
+        let app = k.fork(Pid::INIT).unwrap();
+        let client_fd = k.connect(app, "/app-run/x11.sock").unwrap();
+        proxy.pump().unwrap();
+        assert_eq!(proxy.connections(), 1);
+
+        // App → X11 server.
+        k.write_fd(app, client_fd, b"CreateWindow").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let server_conn = k.accept(Pid::INIT, x11).unwrap();
+        let mut buf = [0u8; 32];
+        let n = k.read_fd(Pid::INIT, server_conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"CreateWindow");
+
+        // X11 server → app.
+        k.write_fd(Pid::INIT, server_conn, b"Expose").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let n = k.read_fd(app, client_fd, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"Expose");
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let k = boot_host(SimClock::new());
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/run/dead.sock",
+            "/run/nothing-there.sock",
+        )
+        .unwrap();
+        let app = k.fork(Pid::INIT).unwrap();
+        let _fd = k.connect(app, "/run/dead.sock").unwrap();
+        // Pump fails to dial upstream: the connection cannot be forwarded.
+        assert!(proxy.pump().is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The pseudo-TTY (paper §3.2.4, "Shell I/O").
+//!
+//! "For isolation and security reasons, CNTR prevents leaking the terminal
+//! file descriptors of the host to a container by leveraging pseudo-TTYs —
+//! the pseudo-TTY acts as a proxy between the interactive shell and the user
+//! terminal device." The master side faces the user's terminal (on the
+//! host); the slave side faces the shell inside the nested namespace. Each
+//! direction is a kernel pipe.
+
+use cntr_kernel::pipe::Pipe;
+use cntr_types::{Errno, SysResult};
+use std::sync::Arc;
+
+/// A master/slave pseudo-TTY pair.
+pub struct Pty {
+    /// User → shell (master writes, slave reads).
+    input: Arc<Pipe>,
+    /// Shell → user (slave writes, master reads).
+    output: Arc<Pipe>,
+}
+
+impl Pty {
+    /// Allocates a pty pair with generous buffers.
+    pub fn new() -> Arc<Pty> {
+        Arc::new(Pty {
+            input: Pipe::with_capacity(64 * 1024),
+            output: Pipe::with_capacity(1024 * 1024),
+        })
+    }
+
+    /// Master side: the user types a line (a trailing newline is added if
+    /// missing).
+    pub fn user_write_line(&self, line: &str) -> SysResult<()> {
+        let mut bytes = line.as_bytes().to_vec();
+        if !bytes.ends_with(b"\n") {
+            bytes.push(b'\n');
+        }
+        let mut written = 0;
+        while written < bytes.len() {
+            written += self.input.write(&bytes[written..])?;
+        }
+        Ok(())
+    }
+
+    /// Master side: drains everything the shell printed so far.
+    pub fn user_read_all(&self) -> String {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = self.output.read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        String::from_utf8_lossy(&out).to_string()
+    }
+
+    /// Slave side: the shell reads one line of input, if a complete line is
+    /// buffered.
+    pub fn shell_read_line(&self) -> SysResult<Option<String>> {
+        // Peek by draining into a local buffer; lines are delivered whole
+        // because user_write_line writes atomically within capacity.
+        let mut out = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.input.read(&mut byte) {
+                Ok(0) => {
+                    return if out.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(String::from_utf8_lossy(&out).to_string()))
+                    }
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        return Ok(Some(String::from_utf8_lossy(&out).to_string()));
+                    }
+                    out.push(byte[0]);
+                }
+                Err(Errno::EAGAIN) if out.is_empty() => return Ok(None),
+                Err(Errno::EAGAIN) => {
+                    return Ok(Some(String::from_utf8_lossy(&out).to_string()))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Slave side: the shell prints output.
+    pub fn shell_write(&self, text: &str) -> SysResult<()> {
+        let bytes = text.as_bytes();
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.output.write(&bytes[written..]) {
+                Ok(n) => written += n,
+                // A full buffer drops the rest, like a real tty with no
+                // reader; tests always drain promptly.
+                Err(Errno::EAGAIN) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Hangs up the terminal (user disconnect).
+    pub fn hangup(&self) {
+        self.input.close_write();
+        self.output.close_read();
+    }
+
+    /// True once the user side is gone.
+    pub fn hung_up(&self) -> bool {
+        self.input.write_closed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip() {
+        let pty = Pty::new();
+        pty.user_write_line("ls /var/lib/cntr").unwrap();
+        assert_eq!(
+            pty.shell_read_line().unwrap().as_deref(),
+            Some("ls /var/lib/cntr")
+        );
+        assert_eq!(pty.shell_read_line().unwrap(), None);
+        pty.shell_write("bin etc usr\n").unwrap();
+        assert_eq!(pty.user_read_all(), "bin etc usr\n");
+        assert_eq!(pty.user_read_all(), "");
+    }
+
+    #[test]
+    fn multiple_queued_lines() {
+        let pty = Pty::new();
+        pty.user_write_line("first").unwrap();
+        pty.user_write_line("second").unwrap();
+        assert_eq!(pty.shell_read_line().unwrap().as_deref(), Some("first"));
+        assert_eq!(pty.shell_read_line().unwrap().as_deref(), Some("second"));
+    }
+
+    #[test]
+    fn hangup_observed_by_shell() {
+        let pty = Pty::new();
+        pty.user_write_line("exit").unwrap();
+        pty.hangup();
+        assert!(pty.hung_up());
+        assert_eq!(pty.shell_read_line().unwrap().as_deref(), Some("exit"));
+    }
+}

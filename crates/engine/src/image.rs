@@ -1,0 +1,453 @@
+//! Container images: ordered layers of file entries.
+
+use cntr_fs::{Filesystem, FsContext, MemFs};
+use cntr_types::{FileType, Ino, Mode, OpenFlags, SysResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// File content specification.
+///
+/// Large synthetic files use [`Content::Sparse`] so a 500 MB "binary"
+/// costs no real memory: the size is metadata, reads return zeroes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Literal bytes (configs, scripts).
+    Bytes(Vec<u8>),
+    /// `size` bytes of zeroes, stored sparsely.
+    Sparse(u64),
+}
+
+impl Content {
+    /// Logical size in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Content::Bytes(b) => b.len() as u64,
+            Content::Sparse(n) => *n,
+        }
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What one image entry creates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSpec {
+    /// A directory.
+    Dir {
+        /// Permissions.
+        mode: Mode,
+    },
+    /// A regular file.
+    File {
+        /// Permissions (executables carry the x bits).
+        mode: Mode,
+        /// Content.
+        content: Content,
+        /// Paths of shared libraries this binary needs (Docker Slim's
+        /// static analysis follows these).
+        deps: Vec<String>,
+    },
+    /// A symbolic link.
+    Symlink {
+        /// Link target.
+        target: String,
+    },
+}
+
+/// One path in a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Absolute path inside the image.
+    pub path: String,
+    /// What to create there.
+    pub node: NodeSpec,
+}
+
+/// One image layer: an ordered set of entries (later layers win).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Content-address-ish identity (shared base layers deduplicate in the
+    /// registry).
+    pub id: String,
+    /// The files.
+    pub entries: Vec<FileEntry>,
+}
+
+impl Layer {
+    /// Total logical bytes in this layer.
+    pub fn size_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match &e.node {
+                NodeSpec::File { content, .. } => content.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Image-level configuration (a slice of the OCI config).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImageConfig {
+    /// Environment variables.
+    pub env: BTreeMap<String, String>,
+    /// Path of the entrypoint binary.
+    pub entrypoint: String,
+    /// Working directory.
+    pub workdir: String,
+}
+
+/// A container image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Repository name, e.g. `"mysql"`.
+    pub name: String,
+    /// Tag, e.g. `"8.0"`.
+    pub tag: String,
+    /// Ordered layers, base first.
+    pub layers: Vec<Layer>,
+    /// Runtime configuration.
+    pub config: ImageConfig,
+}
+
+impl Image {
+    /// `name:tag`.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+
+    /// Total logical size across layers.
+    pub fn size_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::size_bytes).sum()
+    }
+
+    /// Every file entry, in application order (base layer first).
+    pub fn all_entries(&self) -> impl Iterator<Item = &FileEntry> {
+        self.layers.iter().flat_map(|l| l.entries.iter())
+    }
+
+    /// The effective file set after layering (later layers shadow earlier
+    /// ones at the same path).
+    pub fn effective_files(&self) -> BTreeMap<&str, &NodeSpec> {
+        let mut map = BTreeMap::new();
+        for e in self.all_entries() {
+            map.insert(e.path.as_str(), &e.node);
+        }
+        map
+    }
+
+    /// Looks up one effective entry.
+    pub fn entry(&self, path: &str) -> Option<&NodeSpec> {
+        self.effective_files().get(path).copied()
+    }
+
+    /// Materializes the image into a fresh rootfs.
+    ///
+    /// Parent directories are created implicitly; `/proc`, `/dev`, `/etc`
+    /// and `/tmp` always exist so the runtime can mount over them.
+    pub fn materialize(&self, fs: &MemFs) -> SysResult<()> {
+        let ctx = FsContext::root();
+        for dir in ["/proc", "/dev", "/etc", "/tmp", "/var", "/var/lib", "/var/lib/cntr"] {
+            mkdir_p(fs, dir, &ctx)?;
+        }
+        for e in self.all_entries() {
+            match &e.node {
+                NodeSpec::Dir { mode } => {
+                    mkdir_p(fs, &e.path, &ctx)?;
+                    if let Ok((parent, name)) = split_parent(&e.path) {
+                        let pino = resolve_dir(fs, parent)?;
+                        if let Ok(st) = fs.lookup(pino, name) {
+                            let _ = fs.setattr(
+                                st.ino,
+                                &cntr_types::SetAttr::chmod(*mode),
+                                &ctx,
+                            );
+                        }
+                    }
+                }
+                NodeSpec::File { mode, content, .. } => {
+                    let (parent, name) = split_parent(&e.path)?;
+                    mkdir_p(fs, parent, &ctx)?;
+                    let pino = resolve_dir(fs, parent)?;
+                    // Later layers replace earlier files.
+                    let _ = fs.unlink(pino, name);
+                    let st = fs.mknod(pino, name, FileType::Regular, *mode, 0, &ctx)?;
+                    match content {
+                        Content::Bytes(b) if !b.is_empty() => {
+                            let fh = fs.open(st.ino, OpenFlags::WRONLY)?;
+                            fs.write(st.ino, fh, 0, b)?;
+                            fs.release(st.ino, fh)?;
+                        }
+                        Content::Bytes(_) => {}
+                        Content::Sparse(n) => {
+                            fs.setattr(st.ino, &cntr_types::SetAttr::truncate(*n), &ctx)?;
+                        }
+                    }
+                    // Restore the mode: writes strip setuid/setgid.
+                    fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), &ctx)?;
+                }
+                NodeSpec::Symlink { target } => {
+                    let (parent, name) = split_parent(&e.path)?;
+                    mkdir_p(fs, parent, &ctx)?;
+                    let pino = resolve_dir(fs, parent)?;
+                    let _ = fs.unlink(pino, name);
+                    fs.symlink(pino, name, target, &ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn split_parent(path: &str) -> SysResult<(&str, &str)> {
+    let path = path.trim_end_matches('/');
+    match path.rsplit_once('/') {
+        Some(("", name)) => Ok(("/", name)),
+        Some((dir, name)) => Ok((dir, name)),
+        None => Err(cntr_types::Errno::EINVAL),
+    }
+}
+
+fn resolve_dir(fs: &MemFs, path: &str) -> SysResult<Ino> {
+    let mut ino = Ino::ROOT;
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        ino = fs.lookup(ino, comp)?.ino;
+    }
+    Ok(ino)
+}
+
+fn mkdir_p(fs: &MemFs, path: &str, ctx: &FsContext) -> SysResult<()> {
+    let mut ino = Ino::ROOT;
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        ino = match fs.lookup(ino, comp) {
+            Ok(st) => st.ino,
+            Err(cntr_types::Errno::ENOENT) => {
+                fs.mkdir(ino, comp, Mode::RWXR_XR_X, ctx)?.ino
+            }
+            Err(e) => return Err(e),
+        };
+    }
+    Ok(())
+}
+
+/// Fluent image construction.
+pub struct ImageBuilder {
+    image: Image,
+    current: Layer,
+}
+
+impl ImageBuilder {
+    /// Starts an image `name:tag` with one open layer.
+    pub fn new(name: &str, tag: &str) -> ImageBuilder {
+        ImageBuilder {
+            image: Image {
+                name: name.to_string(),
+                tag: tag.to_string(),
+                layers: Vec::new(),
+                config: ImageConfig::default(),
+            },
+            current: Layer {
+                id: format!("{name}-{tag}-l0"),
+                entries: Vec::new(),
+            },
+        }
+    }
+
+    /// Seals the current layer and opens a new one with the given id.
+    /// Layers with equal ids deduplicate in the registry.
+    #[must_use]
+    pub fn layer(mut self, id: &str) -> ImageBuilder {
+        if !self.current.entries.is_empty() {
+            self.image.layers.push(self.current);
+        }
+        self.current = Layer {
+            id: id.to_string(),
+            entries: Vec::new(),
+        };
+        self
+    }
+
+    /// Adds a directory.
+    #[must_use]
+    pub fn dir(mut self, path: &str) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::Dir {
+                mode: Mode::RWXR_XR_X,
+            },
+        });
+        self
+    }
+
+    /// Adds a sparse (size-only) regular file.
+    #[must_use]
+    pub fn file(mut self, path: &str, size: u64) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::File {
+                mode: Mode::RW_R__R__,
+                content: Content::Sparse(size),
+                deps: Vec::new(),
+            },
+        });
+        self
+    }
+
+    /// Adds an executable with a dependency closure.
+    #[must_use]
+    pub fn binary(mut self, path: &str, size: u64, deps: &[&str]) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::File {
+                mode: Mode::RWXR_XR_X,
+                content: Content::Sparse(size),
+                deps: deps.iter().map(|s| s.to_string()).collect(),
+            },
+        });
+        self
+    }
+
+    /// Adds a file with literal bytes (configs).
+    #[must_use]
+    pub fn text(mut self, path: &str, content: &str) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::File {
+                mode: Mode::RW_R__R__,
+                content: Content::Bytes(content.as_bytes().to_vec()),
+                deps: Vec::new(),
+            },
+        });
+        self
+    }
+
+    /// Adds a symlink.
+    #[must_use]
+    pub fn symlink(mut self, path: &str, target: &str) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::Symlink {
+                target: target.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Sets an environment variable.
+    #[must_use]
+    pub fn env(mut self, key: &str, value: &str) -> ImageBuilder {
+        self.image
+            .config
+            .env
+            .insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets the entrypoint binary path.
+    #[must_use]
+    pub fn entrypoint(mut self, path: &str) -> ImageBuilder {
+        self.image.config.entrypoint = path.to_string();
+        self
+    }
+
+    /// Sets the working directory.
+    #[must_use]
+    pub fn workdir(mut self, path: &str) -> ImageBuilder {
+        self.image.config.workdir = path.to_string();
+        self
+    }
+
+    /// Finishes the image.
+    pub fn build(mut self) -> Arc<Image> {
+        if !self.current.entries.is_empty() {
+            self.image.layers.push(self.current);
+        }
+        Arc::new(self.image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntr_fs::memfs::memfs;
+    use cntr_types::{DevId, SimClock};
+
+    fn sample() -> Arc<Image> {
+        ImageBuilder::new("mysql", "8.0")
+            .layer("base-debian")
+            .dir("/usr/bin")
+            .binary("/bin/sh", 100_000, &["/lib/libc.so"])
+            .file("/lib/libc.so", 2_000_000)
+            .layer("mysql-app")
+            .binary("/usr/sbin/mysqld", 50_000_000, &["/lib/libc.so"])
+            .text("/etc/my.cnf", "[mysqld]\ndatadir=/var/lib/mysql\n")
+            .symlink("/usr/bin/mysqld", "/usr/sbin/mysqld")
+            .env("MYSQL_ROOT_PASSWORD", "secret")
+            .entrypoint("/usr/sbin/mysqld")
+            .build()
+    }
+
+    #[test]
+    fn builder_structure() {
+        let img = sample();
+        assert_eq!(img.reference(), "mysql:8.0");
+        assert_eq!(img.layers.len(), 2);
+        assert_eq!(img.layers[0].id, "base-debian");
+        assert_eq!(img.size_bytes(), 100_000 + 2_000_000 + 50_000_000 + 32);
+        assert!(img.entry("/usr/sbin/mysqld").is_some());
+    }
+
+    #[test]
+    fn later_layers_shadow_earlier() {
+        let img = ImageBuilder::new("t", "1")
+            .layer("a")
+            .text("/etc/conf", "old")
+            .layer("b")
+            .text("/etc/conf", "new")
+            .build();
+        match img.entry("/etc/conf").unwrap() {
+            NodeSpec::File { content, .. } => {
+                assert_eq!(content, &Content::Bytes(b"new".to_vec()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_creates_tree() {
+        let img = sample();
+        let fs = memfs(DevId(5), SimClock::new());
+        img.materialize(&fs).unwrap();
+        let bin = resolve_dir(&fs, "/usr/sbin").unwrap();
+        let st = fs.lookup(bin, "mysqld").unwrap();
+        assert_eq!(st.size, 50_000_000);
+        assert!(st.mode.bits() & 0o111 != 0, "binary is executable");
+        // Sparse: no real pages allocated for the 50 MB binary.
+        assert!(fs.used_bytes() < 1 << 20);
+        // Config has literal content.
+        let etc = resolve_dir(&fs, "/etc").unwrap();
+        let conf = fs.lookup(etc, "my.cnf").unwrap();
+        assert_eq!(conf.size, 32);
+        // Standard mountpoint dirs exist.
+        assert!(resolve_dir(&fs, "/proc").is_ok());
+        assert!(resolve_dir(&fs, "/dev").is_ok());
+        assert!(resolve_dir(&fs, "/var/lib/cntr").is_ok());
+    }
+
+    #[test]
+    fn materialize_overwrites_shadowed_files() {
+        let img = ImageBuilder::new("t", "1")
+            .layer("a")
+            .text("/etc/conf", "old-longer-content")
+            .layer("b")
+            .text("/etc/conf", "new")
+            .build();
+        let fs = memfs(DevId(5), SimClock::new());
+        img.materialize(&fs).unwrap();
+        let etc = resolve_dir(&fs, "/etc").unwrap();
+        assert_eq!(fs.lookup(etc, "conf").unwrap().size, 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! The container substrate: images, a registry, and container engines.
+//!
+//! CNTR supports "all container implementations (i.e., Docker, rkt, LXC,
+//! systemd-nspawn)" by resolving engine-specific container names to process
+//! ids and then working purely through kernel interfaces (paper §3.2.1,
+//! §4: ~70 LoC of engine-specific code each). This crate provides those
+//! engines over the simulated kernel:
+//!
+//! * [`image`] — layered container images with a builder API, file-level
+//!   dependency metadata (for Docker Slim's static analysis), and size
+//!   accounting,
+//! * [`registry`] — an image registry with layer deduplication and a
+//!   deployment-time model (downloads dominate container deployment; §1
+//!   cites 92% of deployment time),
+//! * [`runtime`] — container lifecycle: materialize a rootfs, unshare all
+//!   seven namespaces, mount `/proc` and `/dev`, chroot, drop credentials,
+//!   apply the image environment; plus the four engine flavours with their
+//!   distinct naming schemes.
+
+pub mod image;
+pub mod registry;
+pub mod runtime;
+
+pub use image::{Content, FileEntry, Image, ImageBuilder, Layer, NodeSpec};
+pub use registry::{DeployReport, DeploymentModel, Registry};
+pub use runtime::{Container, ContainerRuntime, EngineKind};

@@ -1,0 +1,1029 @@
+//! The kernel half of FUSE: a [`Filesystem`] that speaks the protocol.
+//!
+//! Every VFS operation on a CntrFS mount lands here and becomes (or is
+//! absorbed before becoming) a FUSE request. This is where the paper's
+//! performance story lives:
+//!
+//! * **entry/attr caches** absorb repeat lookups (their *absence* on cold
+//!   trees is why compilebench-read is 13.3× slower on CntrFS, §5.2.2);
+//! * **readahead** (`FUSE_ASYNC_READ`, 128 KiB requests) batches sequential
+//!   reads;
+//! * **forget batching** (`FUSE_BATCH_FORGET`) folds many forgets into one
+//!   request;
+//! * **metadata pipelining** (`FUSE_PARALLEL_DIROPS`) overlaps lookup round
+//!   trips (Figure 3c);
+//! * **splice** replaces per-byte copies with page remaps (Figure 3d); the
+//!   splice-*write* variant taxes every request with an extra context
+//!   switch, which is why CNTR ships with it disabled (§3.3);
+//! * **worker threads** add per-request synchronization overhead
+//!   (Figure 4).
+//!
+//! The page cache itself lives in the simulated kernel (`cntr-kernel`); the
+//! negotiated `writeback_cache`/`keep_cache` flags are exported via
+//! [`FuseClientFs::effective_flags`] for the mount to configure.
+
+use crate::config::FuseConfig;
+use crate::conn::{ConnSnapshot, Transport};
+use crate::proto::{InitFlags, Reply, Request, RequestCtx};
+use bytes::Bytes;
+use cntr_fs::{FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags};
+use cntr_types::{
+    CostModel, Dirent, DevId, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr,
+    SimClock, Stat, Statfs, SysResult,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CachedEntry {
+    ino: Ino,
+    tick: u64,
+}
+
+struct ReadAhead {
+    ino: Ino,
+    start: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct ClientState {
+    entry_cache: HashMap<(Ino, String), CachedEntry>,
+    attr_cache: HashMap<Ino, Stat>,
+    nlookup: HashMap<Ino, u64>,
+    forget_queue: Vec<(Ino, u64)>,
+    readahead: HashMap<u64, ReadAhead>,
+    tick: u64,
+}
+
+/// Cache behaviour counters of one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Entry-cache hits.
+    pub entry_hits: u64,
+    /// Entry-cache misses (→ LOOKUP request).
+    pub entry_misses: u64,
+    /// Attr-cache hits.
+    pub attr_hits: u64,
+    /// Attr-cache misses (→ GETATTR request).
+    pub attr_misses: u64,
+    /// Reads served from the readahead buffer.
+    pub readahead_hits: u64,
+    /// READ requests issued.
+    pub read_requests: u64,
+}
+
+/// The FUSE mount as seen by the simulated kernel.
+pub struct FuseClientFs {
+    dev: DevId,
+    clock: SimClock,
+    cost: CostModel,
+    config: FuseConfig,
+    transport: Arc<dyn Transport>,
+    state: Mutex<ClientState>,
+    entry_hits: AtomicU64,
+    entry_misses: AtomicU64,
+    attr_hits: AtomicU64,
+    attr_misses: AtomicU64,
+    readahead_hits: AtomicU64,
+    read_requests: AtomicU64,
+}
+
+impl FuseClientFs {
+    /// Mounts: performs INIT negotiation and returns the client.
+    pub fn mount(
+        dev: DevId,
+        clock: SimClock,
+        cost: CostModel,
+        config: FuseConfig,
+        transport: Arc<dyn Transport>,
+    ) -> SysResult<Arc<FuseClientFs>> {
+        let reply = transport.call(Request::Init {
+            wanted: config.flags,
+        });
+        let granted = match reply {
+            Reply::Init { granted } => granted,
+            Reply::Err(e) => return Err(e),
+            _ => return Err(Errno::EPROTO),
+        };
+        let mut config = config;
+        config.flags = config.flags.intersect(granted);
+        Ok(Arc::new(FuseClientFs {
+            dev,
+            clock,
+            cost,
+            config,
+            transport,
+            state: Mutex::new(ClientState::default()),
+            entry_hits: AtomicU64::new(0),
+            entry_misses: AtomicU64::new(0),
+            attr_hits: AtomicU64::new(0),
+            attr_misses: AtomicU64::new(0),
+            readahead_hits: AtomicU64::new(0),
+            read_requests: AtomicU64::new(0),
+        }))
+    }
+
+    /// The flags that survived INIT negotiation.
+    pub fn effective_flags(&self) -> InitFlags {
+        self.config.flags
+    }
+
+    /// The mount configuration.
+    pub fn config(&self) -> &FuseConfig {
+        &self.config
+    }
+
+    /// Client-side cache counters.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            entry_hits: self.entry_hits.load(Ordering::Relaxed),
+            entry_misses: self.entry_misses.load(Ordering::Relaxed),
+            attr_hits: self.attr_hits.load(Ordering::Relaxed),
+            attr_misses: self.attr_misses.load(Ordering::Relaxed),
+            readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
+            read_requests: self.read_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Transport-level request counters.
+    pub fn conn_stats(&self) -> ConnSnapshot {
+        self.transport.stats()
+    }
+
+    /// Simulates the server dying (used by failure-injection tests).
+    pub fn kill_connection(&self) {
+        self.transport.shutdown();
+    }
+
+    /// Drops the entry/attr caches and readahead buffers (cold-cache
+    /// benchmark phases). Queued forgets are flushed first.
+    pub fn drop_caches(&self) {
+        self.flush_forgets();
+        let mut st = self.state.lock();
+        st.entry_cache.clear();
+        st.attr_cache.clear();
+        st.readahead.clear();
+    }
+
+    /// Charges the protocol cost of one round trip.
+    fn charge(&self, req: &Request, reply: &Reply) {
+        let f = &self.config.flags;
+        let depth = if req.is_meta() && f.parallel_dirops {
+            self.config.meta_pipeline.max(1) as u64
+        } else {
+            1
+        };
+        let mut ns = self.cost.fuse_round_trip() / depth;
+        // Splice-write taxes *every* request with an extra context switch:
+        // the header must be peeked before knowing whether the payload can
+        // stay in the kernel (§3.3).
+        if f.splice_write {
+            ns += self.cost.ctx_switch_ns;
+        }
+        // Worker synchronization overhead grows with the thread count.
+        let workers = self.config.workers.max(1) as u64;
+        if workers > 1 {
+            ns += self.cost.mt_sync_ns * workers.ilog2() as u64;
+        }
+        let req_bytes = req.wire_bytes() as u64;
+        ns += if matches!(req, Request::Write { .. }) && f.splice_write {
+            self.cost.splice(req_bytes)
+        } else {
+            self.cost.copy(req_bytes)
+        };
+        let reply_bytes = reply.wire_bytes() as u64;
+        ns += if matches!(reply, Reply::Data(_)) && f.splice_read {
+            self.cost.splice(reply_bytes)
+        } else {
+            self.cost.copy(reply_bytes)
+        };
+        self.clock.advance(ns);
+    }
+
+    fn call(&self, req: Request) -> SysResult<Reply> {
+        let reply = self.transport.call(req.clone());
+        self.charge(&req, &reply);
+        match reply {
+            Reply::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    fn remember(&self, parent: Ino, name: &str, stat: Stat) {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.entry_cache.insert(
+            (parent, name.to_string()),
+            CachedEntry {
+                ino: stat.ino,
+                tick,
+            },
+        );
+        st.attr_cache.insert(stat.ino, stat);
+        st.attr_cache.remove(&parent);
+        *st.nlookup.entry(stat.ino).or_insert(0) += 1;
+        let over = st.entry_cache.len() > self.config.entry_cache_cap;
+        drop(st);
+        if over {
+            self.evict_entries();
+        }
+    }
+
+    /// Evicts the oldest eighth of the entry cache, queueing forgets.
+    fn evict_entries(&self) {
+        let mut st = self.state.lock();
+        let mut entries: Vec<(u64, (Ino, String))> = st
+            .entry_cache
+            .iter()
+            .map(|(k, v)| (v.tick, k.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|(t, _)| *t);
+        let evict = entries.len() / 8 + 1;
+        for (_, key) in entries.into_iter().take(evict) {
+            if let Some(e) = st.entry_cache.remove(&key) {
+                let remaining = {
+                    let c = st.nlookup.entry(e.ino).or_insert(1);
+                    *c = c.saturating_sub(1);
+                    *c
+                };
+                st.forget_queue.push((e.ino, 1));
+                if remaining == 0 {
+                    st.attr_cache.remove(&e.ino);
+                }
+            }
+        }
+        let flush = st.forget_queue.len() >= self.config.forget_batch;
+        drop(st);
+        if flush {
+            self.flush_forgets();
+        }
+    }
+
+    /// Sends the queued forgets — one BATCH_FORGET, or N FORGETs when the
+    /// server did not negotiate batching.
+    pub fn flush_forgets(&self) {
+        let items = {
+            let mut st = self.state.lock();
+            std::mem::take(&mut st.forget_queue)
+        };
+        if items.is_empty() {
+            return;
+        }
+        if self.config.flags.batch_forget {
+            let _ = self.call(Request::BatchForget { items });
+        } else {
+            for (ino, nlookup) in items {
+                let _ = self.call(Request::Forget { ino, nlookup });
+            }
+        }
+    }
+
+    fn invalidate_entry(&self, parent: Ino, name: &str) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.entry_cache.remove(&(parent, name.to_string())) {
+            st.attr_cache.remove(&e.ino);
+        }
+        st.attr_cache.remove(&parent);
+    }
+
+    /// Drops one inode's cached attributes (its nlink/size/blocks changed
+    /// server-side in a way the client cannot compute).
+    fn invalidate_attr(&self, ino: Ino) {
+        self.state.lock().attr_cache.remove(&ino);
+    }
+
+    fn drop_readahead_for(&self, ino: Ino) {
+        let mut st = self.state.lock();
+        st.readahead.retain(|_, ra| ra.ino != ino);
+    }
+
+    fn update_attr(&self, stat: Stat) {
+        self.state.lock().attr_cache.insert(stat.ino, stat);
+    }
+}
+
+fn req_ctx(ctx: &FsContext) -> RequestCtx {
+    RequestCtx {
+        uid: ctx.uid.raw(),
+        gid: ctx.gid.raw(),
+        pid: 0,
+    }
+}
+
+impl Filesystem for FuseClientFs {
+    fn fs_id(&self) -> DevId {
+        self.dev
+    }
+
+    fn fs_type(&self) -> &'static str {
+        "fuse.cntrfs"
+    }
+
+    fn features(&self) -> FsFeatures {
+        // The four xfstests failures (§5.1) plus the uncached
+        // security.capability xattr (§5.2.2 Apache) in feature-flag form.
+        FsFeatures {
+            direct_io: false,
+            exportable_handles: false,
+            enforces_caller_fsize: false,
+            native_setgid_clearing: false,
+            block_backed: false,
+            reflink: false,
+            xattr_cached: false,
+        }
+    }
+
+    fn lookup(&self, parent: Ino, name: &str) -> SysResult<Stat> {
+        {
+            let mut st = self.state.lock();
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some(e) = st.entry_cache.get_mut(&(parent, name.to_string())) {
+                e.tick = tick;
+                let ino = e.ino;
+                if let Some(stat) = st.attr_cache.get(&ino) {
+                    let stat = *stat;
+                    drop(st);
+                    self.entry_hits.fetch_add(1, Ordering::Relaxed);
+                    self.clock.advance(self.cost.dcache_hit_ns);
+                    return Ok(stat);
+                }
+            }
+        }
+        self.entry_misses.fetch_add(1, Ordering::Relaxed);
+        let reply = self.call(Request::Lookup {
+            parent,
+            name: name.to_string(),
+            ctx: RequestCtx::default(),
+        })?;
+        match reply {
+            Reply::Entry(stat) => {
+                self.remember(parent, name, stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn getattr(&self, ino: Ino) -> SysResult<Stat> {
+        if let Some(stat) = self.state.lock().attr_cache.get(&ino).copied() {
+            self.attr_hits.fetch_add(1, Ordering::Relaxed);
+            self.clock.advance(self.cost.dcache_hit_ns);
+            return Ok(stat);
+        }
+        self.attr_misses.fetch_add(1, Ordering::Relaxed);
+        match self.call(Request::Getattr { ino })? {
+            Reply::Attr(stat) => {
+                self.update_attr(stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn setattr(&self, ino: Ino, attr: &SetAttr, ctx: &FsContext) -> SysResult<Stat> {
+        let reply = self.call(Request::Setattr {
+            ino,
+            attr: *attr,
+            ctx: req_ctx(ctx),
+        })?;
+        match reply {
+            Reply::Attr(stat) => {
+                self.update_attr(stat);
+                if attr.size.is_some() {
+                    self.drop_readahead_for(ino);
+                }
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn mknod(
+        &self,
+        parent: Ino,
+        name: &str,
+        ftype: FileType,
+        mode: Mode,
+        rdev: u64,
+        ctx: &FsContext,
+    ) -> SysResult<Stat> {
+        let reply = self.call(Request::Mknod {
+            parent,
+            name: name.to_string(),
+            ftype,
+            mode,
+            rdev,
+            ctx: req_ctx(ctx),
+        })?;
+        match reply {
+            Reply::Entry(stat) => {
+                self.remember(parent, name, stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn mkdir(&self, parent: Ino, name: &str, mode: Mode, ctx: &FsContext) -> SysResult<Stat> {
+        let reply = self.call(Request::Mkdir {
+            parent,
+            name: name.to_string(),
+            mode,
+            ctx: req_ctx(ctx),
+        })?;
+        match reply {
+            Reply::Entry(stat) => {
+                self.remember(parent, name, stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn unlink(&self, parent: Ino, name: &str) -> SysResult<()> {
+        self.call(Request::Unlink {
+            parent,
+            name: name.to_string(),
+        })?;
+        self.invalidate_entry(parent, name);
+        Ok(())
+    }
+
+    fn rmdir(&self, parent: Ino, name: &str) -> SysResult<()> {
+        self.call(Request::Rmdir {
+            parent,
+            name: name.to_string(),
+        })?;
+        self.invalidate_entry(parent, name);
+        Ok(())
+    }
+
+    fn symlink(&self, parent: Ino, name: &str, target: &str, ctx: &FsContext) -> SysResult<Stat> {
+        let reply = self.call(Request::Symlink {
+            parent,
+            name: name.to_string(),
+            target: target.to_string(),
+            ctx: req_ctx(ctx),
+        })?;
+        match reply {
+            Reply::Entry(stat) => {
+                self.remember(parent, name, stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn readlink(&self, ino: Ino) -> SysResult<String> {
+        match self.call(Request::Readlink { ino })? {
+            Reply::Target(t) => Ok(t),
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn link(&self, ino: Ino, newparent: Ino, newname: &str) -> SysResult<Stat> {
+        let reply = self.call(Request::Link {
+            ino,
+            newparent,
+            newname: newname.to_string(),
+        })?;
+        match reply {
+            Reply::Entry(stat) => {
+                self.remember(newparent, newname, stat);
+                Ok(stat)
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn rename(
+        &self,
+        parent: Ino,
+        name: &str,
+        newparent: Ino,
+        newname: &str,
+        flags: RenameFlags,
+    ) -> SysResult<()> {
+        self.call(Request::Rename {
+            parent,
+            name: name.to_string(),
+            newparent,
+            newname: newname.to_string(),
+            flags,
+        })?;
+        self.invalidate_entry(parent, name);
+        self.invalidate_entry(newparent, newname);
+        Ok(())
+    }
+
+    fn open(&self, ino: Ino, flags: OpenFlags) -> SysResult<Fh> {
+        if flags.contains(OpenFlags::DIRECT) {
+            // Direct I/O and mmap are mutually exclusive in FUSE; CNTR
+            // needs mmap to execute binaries (paper §5.1, test #391).
+            return Err(Errno::EINVAL);
+        }
+        match self.call(Request::Open { ino, flags })? {
+            Reply::Opened { fh, .. } => {
+                let mut st = self.state.lock();
+                st.readahead.insert(
+                    fh,
+                    ReadAhead {
+                        ino,
+                        start: 0,
+                        data: Vec::new(),
+                    },
+                );
+                if flags.contains(OpenFlags::TRUNC) && flags.mode.writable() {
+                    if let Some(stat) = st.attr_cache.get_mut(&ino) {
+                        stat.size = 0;
+                    }
+                }
+                Ok(Fh(fh))
+            }
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn release(&self, ino: Ino, fh: Fh) -> SysResult<()> {
+        self.state.lock().readahead.remove(&fh.0);
+        self.call(Request::Release { ino, fh: fh.0 })?;
+        Ok(())
+    }
+
+    fn read(&self, ino: Ino, fh: Fh, offset: u64, buf: &mut [u8]) -> SysResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Readahead-buffer hit: no round trip, just a copy.
+        {
+            let st = self.state.lock();
+            if let Some(ra) = st.readahead.get(&fh.0) {
+                if offset >= ra.start && offset < ra.start + ra.data.len() as u64 {
+                    let begin = (offset - ra.start) as usize;
+                    let n = (ra.data.len() - begin).min(buf.len());
+                    buf[..n].copy_from_slice(&ra.data[begin..begin + n]);
+                    drop(st);
+                    self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+                    self.clock.advance(self.cost.copy(n as u64));
+                    return Ok(n);
+                }
+            }
+        }
+        // Issue a READ; with async_read the request is a full readahead
+        // window regardless of how little the caller wants.
+        let req_size = if self.config.flags.async_read {
+            self.config.max_read.max(buf.len())
+        } else {
+            buf.len()
+        };
+        self.read_requests.fetch_add(1, Ordering::Relaxed);
+        let reply = self.call(Request::Read {
+            ino,
+            fh: fh.0,
+            offset,
+            size: req_size as u32,
+        })?;
+        let data = match reply {
+            Reply::Data(d) => d,
+            _ => return Err(Errno::EPROTO),
+        };
+        let n = data.len().min(buf.len());
+        buf[..n].copy_from_slice(&data[..n]);
+        if self.config.flags.async_read {
+            let mut st = self.state.lock();
+            st.readahead.insert(
+                fh.0,
+                ReadAhead {
+                    ino,
+                    start: offset,
+                    data: data.to_vec(),
+                },
+            );
+        }
+        Ok(n)
+    }
+
+    fn write(&self, ino: Ino, fh: Fh, offset: u64, data: &[u8]) -> SysResult<usize> {
+        let reply = self.call(Request::Write {
+            ino,
+            fh: fh.0,
+            offset,
+            data: Bytes::copy_from_slice(data),
+        })?;
+        let written = match reply {
+            Reply::Written(n) => n as usize,
+            _ => return Err(Errno::EPROTO),
+        };
+        {
+            let mut st = self.state.lock();
+            if let Some(stat) = st.attr_cache.get_mut(&ino) {
+                stat.size = stat.size.max(offset + written as u64);
+            }
+            // The written range may overlap a readahead buffer: drop stale ones.
+            st.readahead.retain(|_, ra| {
+                ra.ino != ino
+                    || offset >= ra.start + ra.data.len() as u64
+                    || offset + written as u64 <= ra.start
+            });
+        }
+        Ok(written)
+    }
+
+    fn fsync(&self, ino: Ino, fh: Fh, datasync: bool) -> SysResult<()> {
+        self.call(Request::Fsync {
+            ino,
+            fh: fh.0,
+            datasync,
+        })?;
+        self.invalidate_attr(ino);
+        Ok(())
+    }
+
+    fn readdir(&self, ino: Ino) -> SysResult<Vec<Dirent>> {
+        match self.call(Request::Readdir { ino })? {
+            Reply::Dirents(d) => Ok(d),
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn statfs(&self) -> SysResult<Statfs> {
+        match self.call(Request::Statfs)? {
+            Reply::Statfs(s) => Ok(s),
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn getxattr(&self, ino: Ino, name: &str) -> SysResult<Vec<u8>> {
+        // Never cached: the Apache overhead of Figure 2 (§5.2.2).
+        match self.call(Request::Getxattr {
+            ino,
+            name: name.to_string(),
+        })? {
+            Reply::Xattr(v) => Ok(v),
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn setxattr(&self, ino: Ino, name: &str, value: &[u8], flags: XattrFlags) -> SysResult<()> {
+        self.call(Request::Setxattr {
+            ino,
+            name: name.to_string(),
+            value: value.to_vec(),
+            flags,
+        })?;
+        Ok(())
+    }
+
+    fn listxattr(&self, ino: Ino) -> SysResult<Vec<String>> {
+        match self.call(Request::Listxattr { ino })? {
+            Reply::XattrNames(n) => Ok(n),
+            _ => Err(Errno::EPROTO),
+        }
+    }
+
+    fn removexattr(&self, ino: Ino, name: &str) -> SysResult<()> {
+        self.call(Request::Removexattr {
+            ino,
+            name: name.to_string(),
+        })?;
+        Ok(())
+    }
+
+    fn fallocate(
+        &self,
+        ino: Ino,
+        fh: Fh,
+        offset: u64,
+        len: u64,
+        mode: FallocateMode,
+    ) -> SysResult<()> {
+        self.call(Request::Fallocate {
+            ino,
+            fh: fh.0,
+            offset,
+            len,
+            mode,
+        })?;
+        self.invalidate_attr(ino);
+        Ok(())
+    }
+
+    fn forget(&self, ino: Ino, nlookup: u64) {
+        let flush = {
+            let mut st = self.state.lock();
+            // A forgotten inode must vanish from the kernel-side caches too.
+            st.attr_cache.remove(&ino);
+            st.entry_cache.retain(|_, e| e.ino != ino);
+            st.nlookup.remove(&ino);
+            st.forget_queue.push((ino, nlookup));
+            st.forget_queue.len() >= self.config.forget_batch
+        };
+        if flush {
+            self.flush_forgets();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::InlineTransport;
+    use crate::server::FsHandler;
+    use cntr_fs::memfs::memfs;
+    use cntr_types::Timespec;
+
+    fn mounted(config: FuseConfig) -> (Arc<FuseClientFs>, SimClock) {
+        let clock = SimClock::new();
+        let backing = memfs(DevId(1), clock.clone());
+        let transport = InlineTransport::new(FsHandler::new(backing));
+        let client = FuseClientFs::mount(
+            DevId(100),
+            clock.clone(),
+            CostModel::calibrated(),
+            config,
+            transport,
+        )
+        .expect("mount");
+        (client, clock)
+    }
+
+    fn root_ctx() -> FsContext {
+        FsContext::root()
+    }
+
+    #[test]
+    fn basic_file_lifecycle_over_fuse() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        let st = fs
+            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        fs.write(st.ino, fh, 0, b"over the wire").unwrap();
+        let mut buf = [0u8; 32];
+        let n = fs.read(st.ino, fh, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"over the wire");
+        fs.release(st.ino, fh).unwrap();
+        fs.unlink(Ino::ROOT, "f").unwrap();
+        assert_eq!(fs.lookup(Ino::ROOT, "f"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn entry_cache_absorbs_repeat_lookups() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        fs.mkdir(Ino::ROOT, "d", Mode::RWXR_XR_X, &root_ctx()).unwrap();
+        for _ in 0..10 {
+            fs.lookup(Ino::ROOT, "d").unwrap();
+        }
+        let conn = fs.conn_stats();
+        assert_eq!(conn.lookups, 0, "mkdir primed the cache; no LOOKUPs");
+        let stats = fs.stats();
+        assert_eq!(stats.entry_hits, 10);
+    }
+
+    #[test]
+    fn readahead_batches_sequential_reads() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        let st = fs
+            .mknod(Ino::ROOT, "big", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        fs.write(st.ino, fh, 0, &vec![7u8; 256 * 1024]).unwrap();
+        let before = fs.conn_stats().reads;
+        let mut buf = [0u8; 4096];
+        for page in 0..64u64 {
+            fs.read(st.ino, fh, page * 4096, &mut buf).unwrap();
+        }
+        let issued = fs.conn_stats().reads - before;
+        // 256 KiB read in 4 KiB chunks with 128 KiB readahead = 2 requests.
+        assert_eq!(issued, 2, "readahead must batch");
+        assert!(fs.stats().readahead_hits >= 62);
+    }
+
+    #[test]
+    fn no_async_read_means_per_call_requests() {
+        let (fs, _) = mounted(FuseConfig::unoptimized());
+        let st = fs
+            .mknod(Ino::ROOT, "big", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        fs.write(st.ino, fh, 0, &vec![7u8; 64 * 1024]).unwrap();
+        let before = fs.conn_stats().reads;
+        let mut buf = [0u8; 4096];
+        for page in 0..16u64 {
+            fs.read(st.ino, fh, page * 4096, &mut buf).unwrap();
+        }
+        assert_eq!(fs.conn_stats().reads - before, 16);
+    }
+
+    #[test]
+    fn forget_batching_folds_requests() {
+        let mut config = FuseConfig::optimized();
+        config.forget_batch = 8;
+        let (fs, _) = mounted(config);
+        for (i, ino) in (0..8).map(|i| (i, Ino(100 + i))).collect::<Vec<_>>() {
+            let _ = i;
+            fs.forget(ino, 1);
+        }
+        let conn = fs.conn_stats();
+        assert_eq!(conn.batch_forgets, 1);
+        assert_eq!(conn.forgets, 0);
+
+        // Without batch support: individual FORGETs.
+        let mut unbatched = FuseConfig::optimized();
+        unbatched.flags.batch_forget = false;
+        unbatched.forget_batch = 8;
+        let (fs2, _) = mounted(unbatched);
+        for i in 0..8 {
+            fs2.forget(Ino(200 + i), 1);
+        }
+        let conn2 = fs2.conn_stats();
+        assert_eq!(conn2.batch_forgets, 0);
+        assert_eq!(conn2.forgets, 8);
+    }
+
+    #[test]
+    fn o_direct_is_rejected() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        let st = fs
+            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        assert_eq!(
+            fs.open(st.ino, OpenFlags::RDONLY.with(OpenFlags::DIRECT)),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn features_encode_the_four_xfstests_failures() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        let f = fs.features();
+        assert!(!f.direct_io); // #391
+        assert!(!f.exportable_handles); // #426
+        assert!(!f.enforces_caller_fsize); // #228
+        assert!(!f.native_setgid_clearing); // #375
+        assert!(!f.xattr_cached); // Apache overhead
+        assert_eq!(fs.export_handle(Ino::ROOT), Err(Errno::EOPNOTSUPP));
+    }
+
+    #[test]
+    fn dead_server_yields_enotconn() {
+        let (fs, _) = mounted(FuseConfig::optimized());
+        fs.kill_connection();
+        assert_eq!(fs.getattr(Ino(42)), Err(Errno::ENOTCONN));
+        assert_eq!(
+            fs.mkdir(Ino::ROOT, "x", Mode::RWXR_XR_X, &root_ctx())
+                .map(|_| ()),
+            Err(Errno::ENOTCONN)
+        );
+    }
+
+    #[test]
+    fn parallel_dirops_cheapens_metadata() {
+        let run = |flags: InitFlags| {
+            let (fs, clock) = mounted(FuseConfig::optimized().with_flags(flags));
+            let start = clock.now();
+            for i in 0..100 {
+                fs.mkdir(Ino::ROOT, &format!("d{i}"), Mode::RWXR_XR_X, &root_ctx())
+                    .unwrap();
+                fs.lookup(Ino::ROOT, &format!("d{i}")).unwrap();
+            }
+            (clock.now() - start).as_nanos()
+        };
+        let mut off = InitFlags::cntr_default();
+        off.parallel_dirops = false;
+        let with = run(InitFlags::cntr_default());
+        let without = run(off);
+        assert!(
+            without > with * 2,
+            "pipelining must cut metadata cost: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn splice_read_cheapens_large_transfers() {
+        let run = |flags: InitFlags| {
+            let (fs, clock) = mounted(FuseConfig::optimized().with_flags(flags));
+            let st = fs
+                .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+                .unwrap();
+            let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+            fs.write(st.ino, fh, 0, &vec![1u8; 1 << 20]).unwrap();
+            let start = clock.now();
+            let mut buf = vec![0u8; 128 * 1024];
+            let mut off = 0u64;
+            for _ in 0..8 {
+                fs.read(st.ino, fh, off, &mut buf).unwrap();
+                off += buf.len() as u64;
+            }
+            (clock.now() - start).as_nanos()
+        };
+        let mut no_splice = InitFlags::cntr_default();
+        no_splice.splice_read = false;
+        let with = run(InitFlags::cntr_default());
+        let without = run(no_splice);
+        assert!(
+            without > with,
+            "splice read must be cheaper: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn splice_write_taxes_every_request() {
+        let run = |flags: InitFlags| {
+            let (fs, clock) = mounted(FuseConfig::optimized().with_flags(flags));
+            let start = clock.now();
+            for i in 0..50 {
+                fs.lookup(Ino::ROOT, &format!("missing{i}")).ok();
+            }
+            (clock.now() - start).as_nanos()
+        };
+        let mut sw = InitFlags::cntr_default();
+        sw.splice_write = true;
+        let plain = run(InitFlags::cntr_default());
+        let taxed = run(sw);
+        assert!(
+            taxed > plain,
+            "splice-write must slow unrelated requests: plain={plain} taxed={taxed}"
+        );
+    }
+
+    #[test]
+    fn more_workers_cost_sync_overhead() {
+        let run = |workers: usize| {
+            let (fs, clock) = mounted(FuseConfig::optimized().with_workers(workers));
+            let st = fs
+                .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+                .unwrap();
+            let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+            fs.write(st.ino, fh, 0, &vec![1u8; 1 << 20]).unwrap();
+            let start = clock.now();
+            let mut buf = vec![0u8; 128 * 1024];
+            let mut off = 0u64;
+            for _ in 0..8 {
+                fs.read(st.ino, fh, off, &mut buf).unwrap();
+                off += buf.len() as u64;
+            }
+            (clock.now() - start).as_nanos()
+        };
+        let t1 = run(1);
+        let t16 = run(16);
+        assert!(t16 > t1, "16 workers must cost more sync: {t1} vs {t16}");
+        // But modestly — single-digit percent territory (Figure 4).
+        assert!(t16 < t1 * 13 / 10, "overhead should stay mild: {t1} vs {t16}");
+    }
+
+    #[test]
+    fn setattr_updates_cache_and_timestamps_flow() {
+        let (fs, clock) = mounted(FuseConfig::optimized());
+        let st = fs
+            .mknod(Ino::ROOT, "t", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        clock.advance(5000);
+        let updated = fs
+            .setattr(
+                st.ino,
+                &SetAttr {
+                    mtime: Some(Timespec::from_secs(99)),
+                    ..SetAttr::default()
+                },
+                &root_ctx(),
+            )
+            .unwrap();
+        assert_eq!(updated.mtime, Timespec::from_secs(99));
+        // Cached attr reflects the update without another round trip.
+        let before = fs.conn_stats().getattrs;
+        let got = fs.getattr(st.ino).unwrap();
+        assert_eq!(got.mtime, Timespec::from_secs(99));
+        assert_eq!(fs.conn_stats().getattrs, before);
+    }
+
+    #[test]
+    fn threaded_transport_end_to_end() {
+        let clock = SimClock::new();
+        let backing = memfs(DevId(1), clock.clone());
+        let transport = Arc::new(crate::conn::ThreadedTransport::new(
+            FsHandler::new(backing),
+            4,
+        ));
+        let fs = FuseClientFs::mount(
+            DevId(100),
+            clock,
+            CostModel::calibrated(),
+            FuseConfig::optimized(),
+            transport,
+        )
+        .unwrap();
+        let st = fs
+            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        fs.write(st.ino, fh, 0, b"threads").unwrap();
+        let mut buf = [0u8; 16];
+        let n = fs.read(st.ino, fh, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"threads");
+    }
+}

@@ -1,0 +1,100 @@
+//! FUSE mount configuration.
+
+use crate::proto::InitFlags;
+
+/// Configuration of one FUSE mount (kernel side).
+#[derive(Debug, Clone, Copy)]
+pub struct FuseConfig {
+    /// Optimization flags requested at INIT.
+    pub flags: InitFlags,
+    /// Server worker threads (paper §3.3 "Multithreading"; drives Figure 4).
+    pub workers: usize,
+    /// Maximum bytes per READ request (`max_read`; 128 KiB as in CNTR).
+    pub max_read: usize,
+    /// Entry-cache capacity (dentries).
+    pub entry_cache_cap: usize,
+    /// Attribute-cache capacity (inodes).
+    pub attr_cache_cap: usize,
+    /// Forgets queued before a flush.
+    pub forget_batch: usize,
+    /// Metadata pipeline depth when `parallel_dirops` is on: how many
+    /// lookup round trips the kernel keeps in flight.
+    pub meta_pipeline: usize,
+}
+
+impl FuseConfig {
+    /// CNTR's shipping configuration: every optimization on except
+    /// splice-write, 4 worker threads.
+    pub const fn optimized() -> FuseConfig {
+        FuseConfig {
+            flags: InitFlags::cntr_default(),
+            workers: 4,
+            max_read: 128 * 1024,
+            entry_cache_cap: 65_536,
+            attr_cache_cap: 65_536,
+            forget_batch: 64,
+            meta_pipeline: 4,
+        }
+    }
+
+    /// The unoptimized baseline of §5.2.3: no caches, no batching, no
+    /// splice, single-threaded.
+    pub const fn unoptimized() -> FuseConfig {
+        FuseConfig {
+            flags: InitFlags::none(),
+            workers: 1,
+            max_read: 128 * 1024,
+            entry_cache_cap: 65_536,
+            attr_cache_cap: 65_536,
+            forget_batch: 64,
+            meta_pipeline: 1,
+        }
+    }
+
+    /// Returns a copy with one field replaced (ablation helper).
+    #[must_use]
+    pub const fn with_flags(mut self, flags: InitFlags) -> FuseConfig {
+        self.flags = flags;
+        self
+    }
+
+    /// Returns a copy with a different worker count.
+    #[must_use]
+    pub const fn with_workers(mut self, workers: usize) -> FuseConfig {
+        self.workers = workers;
+        self
+    }
+}
+
+impl Default for FuseConfig {
+    fn default() -> FuseConfig {
+        FuseConfig::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let o = FuseConfig::optimized();
+        assert!(o.flags.writeback_cache);
+        assert!(!o.flags.splice_write);
+        assert_eq!(o.workers, 4);
+        let u = FuseConfig::unoptimized();
+        assert!(!u.flags.writeback_cache);
+        assert_eq!(u.workers, 1);
+    }
+
+    #[test]
+    fn ablation_helpers() {
+        let c = FuseConfig::optimized().with_workers(16);
+        assert_eq!(c.workers, 16);
+        let mut f = InitFlags::cntr_default();
+        f.keep_cache = false;
+        let c = FuseConfig::optimized().with_flags(f);
+        assert!(!c.flags.keep_cache);
+        assert!(c.flags.writeback_cache);
+    }
+}

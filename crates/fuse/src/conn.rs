@@ -1,0 +1,324 @@
+//! The `/dev/fuse` connection: request transport between the kernel half
+//! and the userspace server.
+//!
+//! Two transports share one interface:
+//!
+//! * [`InlineTransport`] executes the handler on the calling thread. All
+//!   timing is charged through the virtual clock by the client and the
+//!   handler itself, so experiments are deterministic.
+//! * [`ThreadedTransport`] runs real worker threads fed by a crossbeam
+//!   channel — the shape of a real FUSE daemon's read loop ("CNTR spawns
+//!   independent threads to read from the CNTRFS file descriptor", §3.3).
+//!   Used by stress tests to shake out synchronization bugs.
+
+use crate::proto::{Opcode, Reply, Request};
+use crate::server::FuseHandler;
+use cntr_types::Errno;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-opcode request counters of one connection.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    lookups: AtomicU64,
+    getattrs: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    getxattrs: AtomicU64,
+    forgets: AtomicU64,
+    batch_forgets: AtomicU64,
+    others: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// Snapshot of [`ConnStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    /// LOOKUP requests.
+    pub lookups: u64,
+    /// GETATTR requests.
+    pub getattrs: u64,
+    /// READ requests.
+    pub reads: u64,
+    /// WRITE requests.
+    pub writes: u64,
+    /// GETXATTR requests.
+    pub getxattrs: u64,
+    /// Individual FORGET requests.
+    pub forgets: u64,
+    /// BATCH_FORGET requests.
+    pub batch_forgets: u64,
+    /// Everything else.
+    pub others: u64,
+    /// Bytes from kernel to server.
+    pub bytes_in: u64,
+    /// Bytes from server to kernel.
+    pub bytes_out: u64,
+}
+
+impl ConnSnapshot {
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.lookups
+            + self.getattrs
+            + self.reads
+            + self.writes
+            + self.getxattrs
+            + self.forgets
+            + self.batch_forgets
+            + self.others
+    }
+}
+
+impl ConnStats {
+    fn record(&self, req: &Request, reply: &Reply) {
+        let counter = match req.opcode() {
+            Opcode::Lookup => &self.lookups,
+            Opcode::Getattr => &self.getattrs,
+            Opcode::Read => &self.reads,
+            Opcode::Write => &self.writes,
+            Opcode::Getxattr => &self.getxattrs,
+            Opcode::Forget => &self.forgets,
+            Opcode::BatchForget => &self.batch_forgets,
+            _ => &self.others,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in
+            .fetch_add(req.wire_bytes() as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(reply.wire_bytes() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> ConnSnapshot {
+        ConnSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            getattrs: self.getattrs.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            getxattrs: self.getxattrs.load(Ordering::Relaxed),
+            forgets: self.forgets.load(Ordering::Relaxed),
+            batch_forgets: self.batch_forgets.load(Ordering::Relaxed),
+            others: self.others.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A FUSE request transport.
+pub trait Transport: Send + Sync {
+    /// Performs one round trip. Returns `Reply::Err(ENOTCONN)` if the
+    /// server is gone.
+    fn call(&self, req: Request) -> Reply;
+
+    /// Tears the connection down (server crash / unmount). Subsequent calls
+    /// fail with `ENOTCONN`.
+    fn shutdown(&self);
+
+    /// Whether the connection is still serving.
+    fn is_alive(&self) -> bool;
+
+    /// Request counters.
+    fn stats(&self) -> ConnSnapshot;
+}
+
+/// Deterministic same-thread transport.
+pub struct InlineTransport<H: FuseHandler> {
+    handler: H,
+    alive: AtomicBool,
+    stats: ConnStats,
+}
+
+impl<H: FuseHandler> InlineTransport<H> {
+    /// Wraps a handler.
+    pub fn new(handler: H) -> Arc<InlineTransport<H>> {
+        Arc::new(InlineTransport {
+            handler,
+            alive: AtomicBool::new(true),
+            stats: ConnStats::default(),
+        })
+    }
+
+    /// Access to the wrapped handler (tests, server-side stats).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+}
+
+impl<H: FuseHandler> Transport for InlineTransport<H> {
+    fn call(&self, req: Request) -> Reply {
+        if !self.alive.load(Ordering::Acquire) {
+            return Reply::Err(Errno::ENOTCONN);
+        }
+        let reply = self.handler.handle(req.clone());
+        self.stats.record(&req, &reply);
+        reply
+    }
+
+    fn shutdown(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> ConnSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+type Job = (Request, Sender<Reply>);
+
+/// Real-thread transport: `workers` threads pull requests off a shared
+/// queue, as in a real multithreaded FUSE daemon.
+pub struct ThreadedTransport {
+    tx: Sender<Job>,
+    alive: Arc<AtomicBool>,
+    stats: Arc<ConnStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedTransport {
+    /// Spawns `workers` threads serving `handler`.
+    pub fn new<H: FuseHandler + Clone>(handler: H, workers: usize) -> ThreadedTransport {
+        let (tx, rx) = unbounded::<Job>();
+        let alive = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(ConnStats::default());
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = handler.clone();
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    while let Ok((req, reply_tx)) = rx.recv() {
+                        let reply = handler.handle(req.clone());
+                        stats.record(&req, &reply);
+                        let _ = reply_tx.send(reply);
+                    }
+                })
+            })
+            .collect();
+        ThreadedTransport {
+            tx,
+            alive,
+            stats,
+            workers: handles,
+        }
+    }
+
+    /// Waits for all workers to finish (after shutdown).
+    pub fn join(mut self) {
+        // Dropping the sender ends the worker loops.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn call(&self, req: Request) -> Reply {
+        if !self.alive.load(Ordering::Acquire) {
+            return Reply::Err(Errno::ENOTCONN);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        if self.tx.send((req, reply_tx)).is_err() {
+            return Reply::Err(Errno::ENOTCONN);
+        }
+        reply_rx.recv().unwrap_or(Reply::Err(Errno::ENOTCONN))
+    }
+
+    fn shutdown(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> ConnSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::RequestCtx;
+    use cntr_types::Ino;
+
+    #[derive(Clone)]
+    struct EchoHandler;
+
+    impl FuseHandler for EchoHandler {
+        fn handle(&self, req: Request) -> Reply {
+            match req {
+                Request::Getattr { .. } => Reply::Err(Errno::ENOENT),
+                Request::Readlink { .. } => Reply::Target("echo".into()),
+                _ => Reply::Ok,
+            }
+        }
+    }
+
+    fn lookup() -> Request {
+        Request::Lookup {
+            parent: Ino::ROOT,
+            name: "x".into(),
+            ctx: RequestCtx::default(),
+        }
+    }
+
+    #[test]
+    fn inline_round_trip_and_stats() {
+        let t = InlineTransport::new(EchoHandler);
+        assert!(matches!(t.call(lookup()), Reply::Ok));
+        assert!(matches!(
+            t.call(Request::Getattr { ino: Ino(5) }),
+            Reply::Err(Errno::ENOENT)
+        ));
+        let s = t.stats();
+        assert_eq!(s.lookups, 1);
+        assert_eq!(s.getattrs, 1);
+        assert_eq!(s.total(), 2);
+        assert!(s.bytes_in > 0);
+    }
+
+    #[test]
+    fn shutdown_yields_enotconn() {
+        let t = InlineTransport::new(EchoHandler);
+        t.shutdown();
+        assert!(!t.is_alive());
+        assert!(matches!(t.call(lookup()), Reply::Err(Errno::ENOTCONN)));
+    }
+
+    #[test]
+    fn threaded_transport_serves_concurrently() {
+        let t = Arc::new(ThreadedTransport::new(EchoHandler, 4));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    assert!(matches!(t.call(lookup()), Reply::Ok));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(t.stats().lookups, 800);
+    }
+
+    #[test]
+    fn threaded_shutdown() {
+        let t = ThreadedTransport::new(EchoHandler, 2);
+        t.shutdown();
+        assert!(matches!(t.call(lookup()), Reply::Err(Errno::ENOTCONN)));
+    }
+}

@@ -1,0 +1,34 @@
+//! A model of the FUSE protocol and its kernel/userspace halves.
+//!
+//! CNTR is built on FUSE (paper §3.1): the slim container's kernel forwards
+//! VFS requests through `/dev/fuse` to the CntrFS server, which may live in a
+//! different mount namespace (the fat container or the host). This crate
+//! reproduces that machinery:
+//!
+//! * [`proto`] — the request/reply protocol with real FUSE opcode numbers
+//!   and the INIT negotiation flags behind every §3.3 optimization
+//!   (`FUSE_WRITEBACK_CACHE`, `FUSE_PARALLEL_DIROPS`, `FUSE_ASYNC_READ`,
+//!   splice, batched `FORGET`),
+//! * [`conn`] — the `/dev/fuse` queue with two transports: **inline**
+//!   (deterministic, used by every virtual-time experiment) and
+//!   **threaded** (real worker threads over crossbeam channels, used by
+//!   stress tests),
+//! * [`client`] — the kernel half: a [`cntr_fs::Filesystem`] implementation
+//!   that turns VFS calls into FUSE requests, with entry/attr caches,
+//!   readahead, forget batching and the cost accounting that makes the
+//!   paper's Figure 2/3/4 shapes reproducible,
+//! * [`server`] — the userspace half: a handler trait plus [`FsHandler`],
+//!   which serves any `Filesystem` over FUSE (CNTR's own passthrough
+//!   handler lives in `cntr-core`).
+
+pub mod client;
+pub mod config;
+pub mod conn;
+pub mod proto;
+pub mod server;
+
+pub use client::FuseClientFs;
+pub use config::FuseConfig;
+pub use conn::{ConnStats, InlineTransport, ThreadedTransport, Transport};
+pub use proto::{InitFlags, Opcode, Reply, Request};
+pub use server::{FsHandler, FuseHandler};

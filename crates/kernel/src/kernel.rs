@@ -1,0 +1,855 @@
+//! The kernel object: global tables and process-level system calls.
+//!
+//! File and mount-table system calls (anything that resolves a path) live in
+//! [`crate::vfs`]; this module owns process lifecycle, namespaces,
+//! credentials, cgroups, pipes, sockets, epoll and `splice`.
+
+use crate::cgroup::{CgroupLimits, CgroupPath, CgroupTree};
+use crate::cred::Credentials;
+use crate::epoll::{Epoll, Events};
+use crate::mount::{CacheMode, MountId, MountNs};
+use crate::ns::{NamespaceId, NamespaceKind, NamespaceSet};
+use crate::pagecache::{PageCache, PageCacheStats};
+use crate::pipe::Pipe;
+use crate::process::{FdEntry, FileKind, OpenFile, Process, ProcessState, VfsLoc};
+use crate::socket::{SocketEnd, SocketListener};
+use cntr_fs::Filesystem;
+use cntr_types::{
+    Capability, CostModel, DevId, Errno, Ino, OpenFlags, Pid, RlimitSet, SimClock, SysResult,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Tunables of a simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Primitive cost model.
+    pub cost: CostModel,
+    /// Page-cache capacity in bytes (the paper's testbed has 16 GB RAM; a
+    /// 12 GB cache leaves room for anonymous memory).
+    pub page_cache_bytes: u64,
+    /// Dirty-page threshold that triggers background writeback.
+    pub dirty_limit_bytes: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            cost: CostModel::calibrated(),
+            page_cache_bytes: 12 << 30,
+            dirty_limit_bytes: 64 << 20,
+        }
+    }
+}
+
+pub(crate) struct KState {
+    pub processes: HashMap<Pid, Process>,
+    pub next_pid: u32,
+    pub mount_ns: HashMap<NamespaceId, MountNs>,
+    pub next_ns: u64,
+    pub next_mount: u64,
+    pub cgroups: CgroupTree,
+    pub hostnames: HashMap<NamespaceId, String>,
+    /// Listening Unix sockets, keyed by the socket inode they are bound to.
+    pub socket_nodes: HashMap<(DevId, Ino), Arc<SocketListener>>,
+    /// fanotify-style access recording (Docker Slim's mechanism): when
+    /// armed, successful opens/execs append events here.
+    pub fanotify: Option<Vec<FanotifyEvent>>,
+}
+
+/// One recorded file access (fanotify `FAN_OPEN`/`FAN_OPEN_EXEC`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanotifyEvent {
+    /// Filesystem the file lives on.
+    pub dev: DevId,
+    /// Inode accessed.
+    pub ino: Ino,
+    /// Path as resolved by the accessing process.
+    pub path: String,
+}
+
+pub(crate) struct KernelInner {
+    pub clock: SimClock,
+    pub cost: CostModel,
+    pub page_cache: PageCache,
+    pub state: Mutex<KState>,
+}
+
+/// A handle to the simulated machine. Cloning is cheap; all clones share
+/// state.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) inner: Arc<KernelInner>,
+}
+
+/// Everything CNTR gathers about a process before attaching (paper §3.2.1):
+/// namespaces, cgroup, credentials (capabilities, LSM profile), environment.
+#[derive(Debug, Clone)]
+pub struct ProcInfo {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid.
+    pub ppid: Pid,
+    /// Command name.
+    pub name: String,
+    /// Security context (uid/gid/caps/LSM profile).
+    pub creds: Credentials,
+    /// Namespace membership.
+    pub ns: NamespaceSet,
+    /// Environment variables.
+    pub env: BTreeMap<String, String>,
+    /// Cgroup path.
+    pub cgroup: CgroupPath,
+    /// Root location (for diagnostics).
+    pub root: VfsLoc,
+    /// Lifecycle state.
+    pub state: ProcessState,
+}
+
+impl Kernel {
+    /// Boots a machine: namespace 1, mount 1 on `root_fs`, and `init`
+    /// (pid 1, host root credentials).
+    pub fn new(root_fs: Arc<dyn Filesystem>, cache: CacheMode, config: KernelConfig) -> Kernel {
+        Kernel::with_clock(SimClock::new(), root_fs, cache, config)
+    }
+
+    /// Boots a machine on an existing clock (so filesystems created earlier
+    /// share it).
+    pub fn with_clock(
+        clock: SimClock,
+        root_fs: Arc<dyn Filesystem>,
+        cache: CacheMode,
+        config: KernelConfig,
+    ) -> Kernel {
+        let ns_id = NamespaceId(1);
+        let mount_id = MountId(1);
+        let mount_ns_table = {
+            let mut m = HashMap::new();
+            m.insert(ns_id, MountNs::new(ns_id, mount_id, root_fs, cache));
+            m
+        };
+        let init = Process {
+            pid: Pid::INIT,
+            ppid: Pid(0),
+            name: "init".to_string(),
+            creds: Credentials::host_root(),
+            ns: NamespaceSet::uniform(ns_id),
+            cwd: VfsLoc {
+                mount: mount_id,
+                ino: Ino::ROOT,
+            },
+            cwd_path: "/".to_string(),
+            root: VfsLoc {
+                mount: mount_id,
+                ino: Ino::ROOT,
+            },
+            env: BTreeMap::new(),
+            rlimits: RlimitSet::default(),
+            fds: HashMap::new(),
+            next_fd: 0,
+            cgroup: CgroupPath::root(),
+            state: ProcessState::Running,
+        };
+        let mut processes = HashMap::new();
+        processes.insert(Pid::INIT, init);
+        let mut cgroups = CgroupTree::new();
+        cgroups
+            .attach(Pid::INIT, &CgroupPath::root())
+            .expect("root cgroup exists");
+        let mut hostnames = HashMap::new();
+        hostnames.insert(ns_id, "host".to_string());
+        Kernel {
+            inner: Arc::new(KernelInner {
+                page_cache: PageCache::new(
+                    clock.clone(),
+                    config.cost,
+                    config.page_cache_bytes,
+                    config.dirty_limit_bytes,
+                ),
+                clock,
+                cost: config.cost,
+                state: Mutex::new(KState {
+                    processes,
+                    next_pid: 2,
+                    mount_ns: mount_ns_table,
+                    next_ns: 2,
+                    next_mount: 2,
+                    cgroups,
+                    hostnames,
+                    socket_nodes: HashMap::new(),
+                    fanotify: None,
+                }),
+            }),
+        }
+    }
+
+    /// The machine's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// Page-cache counters.
+    pub fn page_cache_stats(&self) -> PageCacheStats {
+        self.inner.page_cache.stats()
+    }
+
+    /// Bytes of dirty data pending writeback.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.inner.page_cache.dirty_bytes()
+    }
+
+    /// `sync(2)`: flushes all dirty pages.
+    pub fn sync(&self) -> cntr_types::SysResult<()> {
+        self.inner.page_cache.sync_all()
+    }
+
+    /// `echo 3 > /proc/sys/vm/drop_caches`: flushes and drops the page
+    /// cache — used between benchmark phases to measure cold-cache paths.
+    pub fn drop_caches(&self) -> cntr_types::SysResult<()> {
+        self.inner.page_cache.drop_clean()
+    }
+
+    /// Drops one filesystem's cached pages only.
+    pub fn drop_caches_for(&self, dev: DevId) -> cntr_types::SysResult<()> {
+        self.inner.page_cache.drop_dev(dev)
+    }
+
+    /// Charges one syscall entry/exit.
+    pub(crate) fn charge_syscall(&self) {
+        self.inner.clock.advance(self.inner.cost.syscall_ns);
+    }
+
+    pub(crate) fn with_proc<T>(
+        &self,
+        pid: Pid,
+        f: impl FnOnce(&Process) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let st = self.inner.state.lock();
+        let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
+        f(p)
+    }
+
+    pub(crate) fn with_proc_mut<T>(
+        &self,
+        pid: Pid,
+        f: impl FnOnce(&mut Process) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let mut st = self.inner.state.lock();
+        let p = st.processes.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        f(p)
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// `fork(2)`: duplicates `parent`, returning the child pid.
+    pub fn fork(&self, parent: Pid) -> SysResult<Pid> {
+        self.charge_syscall();
+        let mut st = self.inner.state.lock();
+        let child_pid = Pid(st.next_pid);
+        let parent_proc = st.processes.get(&parent).ok_or(Errno::ESRCH)?;
+        if parent_proc.state != ProcessState::Running {
+            return Err(Errno::ESRCH);
+        }
+        let child = parent_proc.fork_into(child_pid);
+        let cgroup = child.cgroup.clone();
+        st.next_pid += 1;
+        st.processes.insert(child_pid, child);
+        st.cgroups.attach(child_pid, &cgroup)?;
+        Ok(child_pid)
+    }
+
+    /// Terminates a process, closing its descriptors.
+    pub fn exit(&self, pid: Pid) -> SysResult<()> {
+        self.charge_syscall();
+        // Dropping fd entries can release FUSE file handles, which re-enters
+        // the kernel through the server — so the drops must happen outside
+        // the state lock.
+        let fds = {
+            let mut st = self.inner.state.lock();
+            let p = st.processes.get_mut(&pid).ok_or(Errno::ESRCH)?;
+            p.state = ProcessState::Zombie;
+            let fds = std::mem::take(&mut p.fds);
+            st.cgroups.detach_everywhere(pid);
+            fds
+        };
+        drop(fds);
+        Ok(())
+    }
+
+    /// Reaps a zombie, removing it from the table.
+    pub fn reap(&self, pid: Pid) -> SysResult<()> {
+        // As in `exit`, the process (and anything it still references) must
+        // be dropped outside the state lock.
+        let reaped = {
+            let mut st = self.inner.state.lock();
+            match st.processes.get(&pid) {
+                Some(p) if p.state == ProcessState::Zombie => st.processes.remove(&pid),
+                Some(_) => return Err(Errno::EBUSY),
+                None => return Err(Errno::ESRCH),
+            }
+        };
+        drop(reaped);
+        Ok(())
+    }
+
+    /// True if the process exists and is running.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.inner
+            .state
+            .lock()
+            .processes
+            .get(&pid)
+            .is_some_and(|p| p.state == ProcessState::Running)
+    }
+
+    /// All live pids (ordered).
+    pub fn pids(&self) -> Vec<Pid> {
+        let st = self.inner.state.lock();
+        let mut v: Vec<Pid> = st.processes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The full context CNTR needs before attaching.
+    pub fn proc_info(&self, pid: Pid) -> SysResult<ProcInfo> {
+        let st = self.inner.state.lock();
+        let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
+        Ok(ProcInfo {
+            pid: p.pid,
+            ppid: p.ppid,
+            name: p.name.clone(),
+            creds: p.creds.clone(),
+            ns: p.ns,
+            env: p.env.clone(),
+            cgroup: p.cgroup.clone(),
+            root: p.root,
+            state: p.state,
+        })
+    }
+
+    /// Sets the command name.
+    pub fn set_name(&self, pid: Pid, name: &str) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| {
+            p.name = name.to_string();
+            Ok(())
+        })
+    }
+
+    /// Sets an environment variable.
+    pub fn setenv(&self, pid: Pid, key: &str, value: &str) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| {
+            p.env.insert(key.to_string(), value.to_string());
+            Ok(())
+        })
+    }
+
+    /// Reads an environment variable.
+    pub fn getenv(&self, pid: Pid, key: &str) -> SysResult<Option<String>> {
+        self.with_proc(pid, |p| Ok(p.env.get(key).cloned()))
+    }
+
+    /// Replaces the whole environment (what CNTR does in step #3: "applies
+    /// all the environment variables that were read from the container
+    /// process; with the exception of PATH").
+    pub fn set_environ(&self, pid: Pid, env: BTreeMap<String, String>) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| {
+            p.env = env;
+            Ok(())
+        })
+    }
+
+    /// Replaces the credentials (privileged; used by the engine substrate
+    /// when it builds containers, and by CNTR when dropping privileges).
+    pub fn set_creds(&self, pid: Pid, creds: Credentials) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| {
+            p.creds = creds;
+            Ok(())
+        })
+    }
+
+    /// Reads the credentials.
+    pub fn creds(&self, pid: Pid) -> SysResult<Credentials> {
+        self.with_proc(pid, |p| Ok(p.creds.clone()))
+    }
+
+    /// The canonical current-working-directory path (what `pwd` prints).
+    pub fn cwd_path(&self, pid: Pid) -> SysResult<String> {
+        self.with_proc(pid, |p| Ok(p.cwd_path.clone()))
+    }
+
+    /// Arms fanotify-style access recording (Docker Slim's mechanism:
+    /// "records all files that have been accessed during a container run in
+    /// an efficient way using the fanotify kernel module", paper §5.3).
+    pub fn fanotify_start(&self) {
+        self.inner.state.lock().fanotify = Some(Vec::new());
+    }
+
+    /// Drains recorded events, keeping the recorder armed.
+    pub fn fanotify_drain(&self) -> Vec<FanotifyEvent> {
+        match self.inner.state.lock().fanotify.as_mut() {
+            Some(events) => std::mem::take(events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Disarms the recorder and returns the remaining events.
+    pub fn fanotify_stop(&self) -> Vec<FanotifyEvent> {
+        self.inner.state.lock().fanotify.take().unwrap_or_default()
+    }
+
+    /// Records one access if the recorder is armed.
+    pub(crate) fn fanotify_record(&self, dev: DevId, ino: Ino, path: &str) {
+        if let Some(events) = self.inner.state.lock().fanotify.as_mut() {
+            events.push(FanotifyEvent {
+                dev,
+                ino,
+                path: path.to_string(),
+            });
+        }
+    }
+
+    /// Reads the resource limits.
+    pub fn rlimits(&self, pid: Pid) -> SysResult<RlimitSet> {
+        self.with_proc(pid, |p| Ok(p.rlimits))
+    }
+
+    /// Updates the resource limits.
+    pub fn set_rlimits(&self, pid: Pid, limits: RlimitSet) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| {
+            p.rlimits = limits;
+            Ok(())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Namespaces
+    // ------------------------------------------------------------------
+
+    /// `unshare(2)`: gives `pid` fresh namespaces of the listed kinds.
+    /// Requires `CAP_SYS_ADMIN`.
+    pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
+        self.charge_syscall();
+        let mut st = self.inner.state.lock();
+        let caps = st
+            .processes
+            .get(&pid)
+            .ok_or(Errno::ESRCH)?
+            .creds
+            .caps;
+        if !caps.has(Capability::SysAdmin) {
+            return Err(Errno::EPERM);
+        }
+        for &kind in kinds {
+            let new_id = NamespaceId(st.next_ns);
+            st.next_ns += 1;
+            if kind == NamespaceKind::Mount {
+                let old_ns_id = st.processes[&pid].ns.mount;
+                let cloned = st
+                    .mount_ns
+                    .get(&old_ns_id)
+                    .ok_or(Errno::EINVAL)?
+                    .clone_for(new_id);
+                st.mount_ns.insert(new_id, cloned);
+            }
+            if kind == NamespaceKind::Uts {
+                let old = st.processes[&pid].ns.uts;
+                let name = st.hostnames.get(&old).cloned().unwrap_or_default();
+                st.hostnames.insert(new_id, name);
+            }
+            let p = st.processes.get_mut(&pid).expect("checked");
+            p.ns.set(kind, new_id);
+        }
+        Ok(())
+    }
+
+    /// `setns(2)`: moves `pid` into `target`'s namespaces of the listed
+    /// kinds. Requires `CAP_SYS_ADMIN`. Joining a mount namespace resets
+    /// root and cwd to that namespace's root, as in Linux.
+    pub fn setns(&self, pid: Pid, target: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
+        self.charge_syscall();
+        let mut st = self.inner.state.lock();
+        if !st
+            .processes
+            .get(&pid)
+            .ok_or(Errno::ESRCH)?
+            .creds
+            .caps
+            .has(Capability::SysAdmin)
+        {
+            return Err(Errno::EPERM);
+        }
+        let target_ns = st.processes.get(&target).ok_or(Errno::ESRCH)?.ns;
+        for &kind in kinds {
+            let id = target_ns.get(kind);
+            if kind == NamespaceKind::Mount {
+                let mount_ns = st.mount_ns.get(&id).ok_or(Errno::EINVAL)?;
+                let root_mount = mount_ns.root_mount();
+                let root_ino = mount_ns.get(root_mount)?.root_ino;
+                let p = st.processes.get_mut(&pid).expect("checked");
+                p.root = VfsLoc {
+                    mount: root_mount,
+                    ino: root_ino,
+                };
+                p.cwd = p.root;
+                p.cwd_path = "/".to_string();
+            }
+            let p = st.processes.get_mut(&pid).expect("checked");
+            p.ns.set(kind, id);
+        }
+        Ok(())
+    }
+
+    /// `sethostname(2)` in the caller's UTS namespace.
+    pub fn sethostname(&self, pid: Pid, name: &str) -> SysResult<()> {
+        let mut st = self.inner.state.lock();
+        let uts = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.uts;
+        st.hostnames.insert(uts, name.to_string());
+        Ok(())
+    }
+
+    /// `gethostname(2)`.
+    pub fn gethostname(&self, pid: Pid) -> SysResult<String> {
+        let st = self.inner.state.lock();
+        let uts = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.uts;
+        Ok(st.hostnames.get(&uts).cloned().unwrap_or_default())
+    }
+
+    // ------------------------------------------------------------------
+    // Cgroups
+    // ------------------------------------------------------------------
+
+    /// Creates a cgroup.
+    pub fn cgroup_create(&self, path: &str) -> SysResult<CgroupPath> {
+        self.inner.state.lock().cgroups.create(path)
+    }
+
+    /// Moves a process into a cgroup.
+    pub fn cgroup_attach(&self, pid: Pid, path: &CgroupPath) -> SysResult<()> {
+        let mut st = self.inner.state.lock();
+        st.cgroups.attach(pid, path)?;
+        if let Some(p) = st.processes.get_mut(&pid) {
+            p.cgroup = path.clone();
+        }
+        Ok(())
+    }
+
+    /// Sets cgroup limits.
+    pub fn cgroup_set_limits(&self, path: &CgroupPath, limits: CgroupLimits) -> SysResult<()> {
+        self.inner.state.lock().cgroups.set_limits(path, limits)
+    }
+
+    /// Reads cgroup members.
+    pub fn cgroup_members(&self, path: &CgroupPath) -> SysResult<Vec<Pid>> {
+        self.inner.state.lock().cgroups.members(path)
+    }
+
+    // ------------------------------------------------------------------
+    // Pipes, sockets, epoll, splice
+    // ------------------------------------------------------------------
+
+    /// `pipe(2)`: returns `(read_fd, write_fd)`.
+    pub fn pipe(&self, pid: Pid) -> SysResult<(u32, u32)> {
+        self.charge_syscall();
+        let pipe = Pipe::new();
+        self.with_proc_mut(pid, |p| {
+            let r = p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::PipeRead(Arc::clone(&pipe)),
+                    flags: OpenFlags::RDONLY,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            });
+            let w = p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::PipeWrite(Arc::clone(&pipe)),
+                    flags: OpenFlags::WRONLY,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            });
+            Ok((r, w))
+        })
+    }
+
+    /// `socketpair(AF_UNIX, SOCK_STREAM)`.
+    pub fn socketpair(&self, pid: Pid) -> SysResult<(u32, u32)> {
+        self.charge_syscall();
+        let (a, b) = SocketEnd::pair();
+        self.with_proc_mut(pid, |p| {
+            let fa = p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::Socket(a.clone()),
+                    flags: OpenFlags::RDWR,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            });
+            let fb = p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::Socket(b.clone()),
+                    flags: OpenFlags::RDWR,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            });
+            Ok((fa, fb))
+        })
+    }
+
+    /// `accept(2)` on a listener fd.
+    pub fn accept(&self, pid: Pid, listener_fd: u32) -> SysResult<u32> {
+        self.charge_syscall();
+        let listener = self.with_proc(pid, |p| {
+            let entry = p.fds.get(&listener_fd).ok_or(Errno::EBADF)?;
+            match &entry.file.kind {
+                FileKind::Listener(l) => Ok(Arc::clone(l)),
+                _ => Err(Errno::ENOTSOCK),
+            }
+        })?;
+        let end = listener.accept()?;
+        self.with_proc_mut(pid, |p| {
+            Ok(p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::Socket(end.clone()),
+                    flags: OpenFlags::RDWR,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            }))
+        })
+    }
+
+    /// `epoll_create1(2)`.
+    pub fn epoll_create(&self, pid: Pid) -> SysResult<u32> {
+        self.charge_syscall();
+        let ep = Epoll::new();
+        self.with_proc_mut(pid, |p| {
+            Ok(p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind: FileKind::Epoll(ep.clone()),
+                    flags: OpenFlags::RDWR,
+                    offset: Mutex::new(0),
+                }),
+                cloexec: false,
+            }))
+        })
+    }
+
+    /// `epoll_ctl(EPOLL_CTL_ADD)`: watches `fd` under `token`.
+    pub fn epoll_add(&self, pid: Pid, epfd: u32, fd: u32, token: u64, ev: Events) -> SysResult<()> {
+        self.charge_syscall();
+        let (ep, source) = self.with_proc(pid, |p| {
+            let ep = match &p.fds.get(&epfd).ok_or(Errno::EBADF)?.file.kind {
+                FileKind::Epoll(e) => Arc::clone(e),
+                _ => return Err(Errno::EINVAL),
+            };
+            let entry = p.fds.get(&fd).ok_or(Errno::EBADF)?;
+            let source: Arc<dyn crate::pipe::Pollable> = match &entry.file.kind {
+                FileKind::PipeRead(pipe) | FileKind::PipeWrite(pipe) => Arc::clone(pipe) as _,
+                FileKind::Socket(s) => Arc::new(s.clone()) as _,
+                FileKind::Listener(l) => Arc::clone(l) as _,
+                _ => return Err(Errno::EPERM),
+            };
+            Ok((ep, source))
+        })?;
+        ep.add(token, source, ev)
+    }
+
+    /// `epoll_wait(2)` (non-blocking: returns what is ready now).
+    pub fn epoll_wait(&self, pid: Pid, epfd: u32) -> SysResult<Vec<(u64, Events)>> {
+        self.charge_syscall();
+        let ep = self.with_proc(pid, |p| {
+            match &p.fds.get(&epfd).ok_or(Errno::EBADF)?.file.kind {
+                FileKind::Epoll(e) => Ok(Arc::clone(e)),
+                _ => Err(Errno::EINVAL),
+            }
+        })?;
+        Ok(ep.wait())
+    }
+
+    /// `splice(2)`: moves up to `len` bytes between two descriptors without
+    /// copying through userspace. Supports pipe→pipe, socket→pipe and
+    /// pipe→socket — the combinations CNTR's socket proxy uses (§3.2.4).
+    pub fn splice(&self, pid: Pid, fd_in: u32, fd_out: u32, len: usize) -> SysResult<usize> {
+        self.charge_syscall();
+        let (src, dst) = self.with_proc(pid, |p| {
+            let a = Arc::clone(&p.fds.get(&fd_in).ok_or(Errno::EBADF)?.file);
+            let b = Arc::clone(&p.fds.get(&fd_out).ok_or(Errno::EBADF)?.file);
+            Ok((a, b))
+        })?;
+        // Stage through a bounded kernel buffer; remap cost, not copy cost.
+        let mut buf = vec![0u8; len.min(crate::pipe::PIPE_CAPACITY)];
+        let n = match &src.kind {
+            FileKind::PipeRead(pipe) => pipe.read(&mut buf)?,
+            FileKind::Socket(s) => s.recv(&mut buf)?,
+            _ => return Err(Errno::EINVAL),
+        };
+        if n == 0 {
+            return Ok(0);
+        }
+        let written = match &dst.kind {
+            FileKind::PipeWrite(pipe) => pipe.write(&buf[..n])?,
+            FileKind::Socket(s) => s.send(&buf[..n])?,
+            _ => return Err(Errno::EINVAL),
+        };
+        // Unwritten remainder is pushed back conceptually; the simulation
+        // only reports what moved. Charge splice (page-remap) cost.
+        self.inner
+            .clock
+            .advance(self.inner.cost.splice(written as u64));
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntr_fs::memfs::memfs;
+
+    fn kernel() -> Kernel {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default())
+    }
+
+    #[test]
+    fn boot_creates_init() {
+        let k = kernel();
+        let info = k.proc_info(Pid::INIT).unwrap();
+        assert_eq!(info.name, "init");
+        assert!(info.creds.caps.has(Capability::SysAdmin));
+        assert_eq!(k.pids(), vec![Pid::INIT]);
+    }
+
+    #[test]
+    fn fork_exit_reap() {
+        let k = kernel();
+        let child = k.fork(Pid::INIT).unwrap();
+        assert_eq!(child, Pid(2));
+        assert!(k.is_alive(child));
+        assert_eq!(k.proc_info(child).unwrap().ppid, Pid::INIT);
+        k.exit(child).unwrap();
+        assert!(!k.is_alive(child));
+        assert_eq!(k.reap(Pid::INIT), Err(Errno::EBUSY));
+        k.reap(child).unwrap();
+        assert_eq!(k.proc_info(child).map(|_| ()), Err(Errno::ESRCH));
+    }
+
+    #[test]
+    fn unshare_gives_fresh_namespaces() {
+        let k = kernel();
+        let child = k.fork(Pid::INIT).unwrap();
+        let before = k.proc_info(child).unwrap().ns;
+        k.unshare(child, &[NamespaceKind::Mount, NamespaceKind::Uts])
+            .unwrap();
+        let after = k.proc_info(child).unwrap().ns;
+        assert_eq!(
+            before.diff(&after),
+            vec![NamespaceKind::Mount, NamespaceKind::Uts]
+        );
+        // Hostname was inherited into the new UTS namespace.
+        assert_eq!(k.gethostname(child).unwrap(), "host");
+        k.sethostname(child, "container").unwrap();
+        assert_eq!(k.gethostname(child).unwrap(), "container");
+        assert_eq!(k.gethostname(Pid::INIT).unwrap(), "host");
+    }
+
+    #[test]
+    fn unshare_requires_sys_admin() {
+        let k = kernel();
+        let child = k.fork(Pid::INIT).unwrap();
+        let mut creds = Credentials::host_root();
+        creds.caps.remove(Capability::SysAdmin);
+        k.set_creds(child, creds).unwrap();
+        assert_eq!(
+            k.unshare(child, &[NamespaceKind::Mount]),
+            Err(Errno::EPERM)
+        );
+    }
+
+    #[test]
+    fn setns_adopts_target_namespaces() {
+        let k = kernel();
+        let container = k.fork(Pid::INIT).unwrap();
+        k.unshare(container, &[NamespaceKind::Mount, NamespaceKind::Pid])
+            .unwrap();
+        let tool = k.fork(Pid::INIT).unwrap();
+        k.setns(tool, container, &[NamespaceKind::Mount, NamespaceKind::Pid])
+            .unwrap();
+        let a = k.proc_info(container).unwrap().ns;
+        let b = k.proc_info(tool).unwrap().ns;
+        assert_eq!(a.mount, b.mount);
+        assert_eq!(a.pid, b.pid);
+        assert_ne!(a.net, NamespaceId(0));
+    }
+
+    #[test]
+    fn environment_roundtrip() {
+        let k = kernel();
+        k.setenv(Pid::INIT, "PATH", "/usr/bin").unwrap();
+        assert_eq!(
+            k.getenv(Pid::INIT, "PATH").unwrap().as_deref(),
+            Some("/usr/bin")
+        );
+        let mut env = BTreeMap::new();
+        env.insert("ONLY".to_string(), "this".to_string());
+        k.set_environ(Pid::INIT, env).unwrap();
+        assert_eq!(k.getenv(Pid::INIT, "PATH").unwrap(), None);
+        assert_eq!(k.getenv(Pid::INIT, "ONLY").unwrap().as_deref(), Some("this"));
+    }
+
+    #[test]
+    fn cgroup_attach_updates_process() {
+        let k = kernel();
+        let g = k.cgroup_create("/docker").unwrap();
+        k.cgroup_attach(Pid::INIT, &g).unwrap();
+        assert_eq!(k.proc_info(Pid::INIT).unwrap().cgroup, g);
+        assert_eq!(k.cgroup_members(&g).unwrap(), vec![Pid::INIT]);
+    }
+
+    #[test]
+    fn pipes_and_splice() {
+        let k = kernel();
+        let (r1, w1) = k.pipe(Pid::INIT).unwrap();
+        let (r2, w2) = k.pipe(Pid::INIT).unwrap();
+        // Feed pipe 1, splice into pipe 2, read from pipe 2.
+        k.write_fd(Pid::INIT, w1, b"spliced bytes").unwrap();
+        let moved = k.splice(Pid::INIT, r1, w2, 1024).unwrap();
+        assert_eq!(moved, 13);
+        let mut buf = [0u8; 32];
+        let n = k.read_fd(Pid::INIT, r2, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"spliced bytes");
+    }
+
+    #[test]
+    fn socketpair_roundtrip() {
+        let k = kernel();
+        let (a, b) = k.socketpair(Pid::INIT).unwrap();
+        k.write_fd(Pid::INIT, a, b"msg").unwrap();
+        let mut buf = [0u8; 8];
+        let n = k.read_fd(Pid::INIT, b, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"msg");
+    }
+
+    #[test]
+    fn epoll_over_pipe() {
+        let k = kernel();
+        let ep = k.epoll_create(Pid::INIT).unwrap();
+        let (r, w) = k.pipe(Pid::INIT).unwrap();
+        k.epoll_add(Pid::INIT, ep, r, 42, Events::IN).unwrap();
+        assert!(k.epoll_wait(Pid::INIT, ep).unwrap().is_empty());
+        k.write_fd(Pid::INIT, w, b"!").unwrap();
+        let ready = k.epoll_wait(Pid::INIT, ep).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, 42);
+    }
+}

@@ -1,0 +1,171 @@
+//! Namespaces: the isolation primitive containers are built from.
+//!
+//! Linux provides seven namespace kinds (paper §2.3). A process holds one
+//! namespace of each kind; children inherit them on `fork`; `unshare`
+//! replaces selected kinds with fresh namespaces; `setns` adopts another
+//! process's namespace. Container engines compose these to build the
+//! container abstraction, and CNTR re-enters them to attach.
+
+use core::fmt;
+
+/// A namespace identity (comparable across processes; what
+/// `/proc/<pid>/ns/<kind>` exposes as an inode number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NamespaceId(pub u64);
+
+impl fmt::Display for NamespaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns:[{}]", self.0)
+    }
+}
+
+/// The seven Linux namespace kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamespaceKind {
+    /// Filesystem mount points (`CLONE_NEWNS`).
+    Mount,
+    /// Process id numbering (`CLONE_NEWPID`).
+    Pid,
+    /// User and group id mappings (`CLONE_NEWUSER`).
+    User,
+    /// Network devices and stacks (`CLONE_NEWNET`).
+    Net,
+    /// System V IPC / POSIX message queues (`CLONE_NEWIPC`).
+    Ipc,
+    /// Hostname and domain name (`CLONE_NEWUTS`).
+    Uts,
+    /// Cgroup root directory (`CLONE_NEWCGROUP`).
+    Cgroup,
+}
+
+/// All seven kinds, in the order used for display.
+pub const ALL_KINDS: [NamespaceKind; 7] = [
+    NamespaceKind::Mount,
+    NamespaceKind::Pid,
+    NamespaceKind::User,
+    NamespaceKind::Net,
+    NamespaceKind::Ipc,
+    NamespaceKind::Uts,
+    NamespaceKind::Cgroup,
+];
+
+impl NamespaceKind {
+    /// The name used in `/proc/<pid>/ns/`.
+    pub const fn proc_name(self) -> &'static str {
+        match self {
+            NamespaceKind::Mount => "mnt",
+            NamespaceKind::Pid => "pid",
+            NamespaceKind::User => "user",
+            NamespaceKind::Net => "net",
+            NamespaceKind::Ipc => "ipc",
+            NamespaceKind::Uts => "uts",
+            NamespaceKind::Cgroup => "cgroup",
+        }
+    }
+}
+
+impl fmt::Display for NamespaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.proc_name())
+    }
+}
+
+/// The namespaces a process belongs to — one id per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NamespaceSet {
+    /// Mount namespace.
+    pub mount: NamespaceId,
+    /// Pid namespace.
+    pub pid: NamespaceId,
+    /// User namespace.
+    pub user: NamespaceId,
+    /// Network namespace.
+    pub net: NamespaceId,
+    /// IPC namespace.
+    pub ipc: NamespaceId,
+    /// UTS namespace.
+    pub uts: NamespaceId,
+    /// Cgroup namespace.
+    pub cgroup: NamespaceId,
+}
+
+impl NamespaceSet {
+    /// Creates a set with every kind equal to `id` (the initial namespaces).
+    pub const fn uniform(id: NamespaceId) -> NamespaceSet {
+        NamespaceSet {
+            mount: id,
+            pid: id,
+            user: id,
+            net: id,
+            ipc: id,
+            uts: id,
+            cgroup: id,
+        }
+    }
+
+    /// Gets the namespace of one kind.
+    pub const fn get(&self, kind: NamespaceKind) -> NamespaceId {
+        match kind {
+            NamespaceKind::Mount => self.mount,
+            NamespaceKind::Pid => self.pid,
+            NamespaceKind::User => self.user,
+            NamespaceKind::Net => self.net,
+            NamespaceKind::Ipc => self.ipc,
+            NamespaceKind::Uts => self.uts,
+            NamespaceKind::Cgroup => self.cgroup,
+        }
+    }
+
+    /// Sets the namespace of one kind.
+    pub fn set(&mut self, kind: NamespaceKind, id: NamespaceId) {
+        match kind {
+            NamespaceKind::Mount => self.mount = id,
+            NamespaceKind::Pid => self.pid = id,
+            NamespaceKind::User => self.user = id,
+            NamespaceKind::Net => self.net = id,
+            NamespaceKind::Ipc => self.ipc = id,
+            NamespaceKind::Uts => self.uts = id,
+            NamespaceKind::Cgroup => self.cgroup = id,
+        }
+    }
+
+    /// Kinds in which `self` and `other` differ — how "far apart" two
+    /// processes are in isolation terms.
+    pub fn diff(&self, other: &NamespaceSet) -> Vec<NamespaceKind> {
+        ALL_KINDS
+            .into_iter()
+            .filter(|&k| self.get(k) != other.get(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_get_set() {
+        let mut s = NamespaceSet::uniform(NamespaceId(1));
+        assert_eq!(s.get(NamespaceKind::Mount), NamespaceId(1));
+        s.set(NamespaceKind::Mount, NamespaceId(7));
+        assert_eq!(s.get(NamespaceKind::Mount), NamespaceId(7));
+        assert_eq!(s.get(NamespaceKind::Pid), NamespaceId(1));
+    }
+
+    #[test]
+    fn diff_lists_changed_kinds() {
+        let a = NamespaceSet::uniform(NamespaceId(1));
+        let mut b = a;
+        assert!(a.diff(&b).is_empty());
+        b.set(NamespaceKind::Net, NamespaceId(2));
+        b.set(NamespaceKind::Uts, NamespaceId(3));
+        assert_eq!(a.diff(&b), vec![NamespaceKind::Net, NamespaceKind::Uts]);
+    }
+
+    #[test]
+    fn proc_names_match_linux() {
+        assert_eq!(NamespaceKind::Mount.proc_name(), "mnt");
+        assert_eq!(NamespaceKind::Pid.proc_name(), "pid");
+        assert_eq!(NamespaceId(42).to_string(), "ns:[42]");
+    }
+}

@@ -1,0 +1,832 @@
+//! The unified page cache.
+//!
+//! Reads and writes on cached mounts go through here. Two per-mount flags —
+//! [`CacheMode::writeback`] and [`CacheMode::keep_cache`] — correspond to
+//! the FUSE optimizations the paper evaluates in §3.3/§5.2.3: a FUSE mount
+//! without `FOPEN_KEEP_CACHE` has its pages invalidated on every `open`, and
+//! without `FUSE_WRITEBACK_CACHE` every write crosses into the server
+//! immediately (write-through). The paper's "double buffering in the page
+//! cache [is one of] the main performance bottlenecks" observation emerges
+//! here naturally: a CntrFS mount and the backing filesystem's own mount
+//! each consume page-cache capacity for the same bytes.
+
+use crate::mount::CacheMode;
+use cntr_fs::{Fh, Filesystem};
+use cntr_types::cost::PAGE_SIZE;
+use cntr_types::{CostModel, DevId, Ino, SimClock, SysResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A borrowed open file used for cache fills and writeback.
+///
+/// Holds the filesystem handle open for as long as any dirty page needs it
+/// (mirroring the kernel pinning a `struct file` for writeback); releases
+/// the handle on drop.
+pub struct FileRef {
+    /// The filesystem.
+    pub fs: Arc<dyn Filesystem>,
+    /// The file's inode.
+    pub ino: Ino,
+    /// The open handle within `fs`.
+    pub fh: Fh,
+}
+
+impl Drop for FileRef {
+    fn drop(&mut self) {
+        // Best-effort: a vanished inode already released everything.
+        let _ = self.fs.release(self.ino, self.fh);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PageKey {
+    dev: DevId,
+    ino: Ino,
+    page: u64,
+}
+
+struct PageEntry {
+    /// Page bytes; `None` for synthetic (benchmark-mode) pages, which read
+    /// as zeroes.
+    data: Option<Box<[u8; PAGE_SIZE]>>,
+    dirty: bool,
+    version: u64,
+    last_access: u64,
+}
+
+struct FileState {
+    /// Write handle pinned for writeback.
+    flush_ref: Option<Arc<FileRef>>,
+    /// Size as extended by not-yet-flushed writes.
+    pending_size: Option<u64>,
+    /// Modification time of the most recent buffered write (the filesystem
+    /// has not seen the data yet, but `stat` must show the new mtime).
+    pending_mtime: Option<cntr_types::Timespec>,
+    dirty_pages: u64,
+}
+
+struct CacheState {
+    pages: HashMap<PageKey, PageEntry>,
+    files: HashMap<(DevId, Ino), FileState>,
+    tick: u64,
+    dirty_total: usize,
+}
+
+/// One contiguous writeback run: start page, the bytes to write, and the
+/// `(page, version)` pairs it covers (for re-dirty detection).
+type FlushRun = (u64, Vec<u8>, Vec<(u64, u64)>);
+
+thread_local! {
+    /// Set while a flush is executing on this thread. Flushing a FUSE-backed
+    /// file re-enters the page cache through the server's own writes; without
+    /// this guard the nested write would start a second flush of the same
+    /// still-dirty file, recursing without bound.
+    static IN_FLUSH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+struct FlushGuard {
+    prev: bool,
+}
+
+impl FlushGuard {
+    fn enter() -> FlushGuard {
+        let prev = IN_FLUSH.with(|f| f.replace(true));
+        FlushGuard { prev }
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        IN_FLUSH.with(|f| f.set(self.prev));
+    }
+}
+
+/// Observable page-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Pages served from cache.
+    pub hits: u64,
+    /// Pages that had to be read from the filesystem.
+    pub misses: u64,
+    /// Pages written back to the filesystem.
+    pub flushed_pages: u64,
+    /// Writeback batches issued (contiguous runs).
+    pub flush_batches: u64,
+    /// Pages evicted for capacity.
+    pub evictions: u64,
+    /// Whole-file invalidations (`open` without keep_cache, truncate).
+    pub invalidations: u64,
+}
+
+/// The page cache shared by all mounts of a [`crate::Kernel`].
+pub struct PageCache {
+    cost: CostModel,
+    clock: SimClock,
+    capacity_pages: usize,
+    dirty_limit_pages: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    flushed_pages: AtomicU64,
+    flush_batches: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PageCache {
+    /// Creates a cache with the given capacity and dirty threshold (bytes).
+    pub fn new(
+        clock: SimClock,
+        cost: CostModel,
+        capacity_bytes: u64,
+        dirty_limit_bytes: u64,
+    ) -> PageCache {
+        PageCache {
+            cost,
+            clock,
+            capacity_pages: (capacity_bytes / PAGE_SIZE as u64).max(16) as usize,
+            dirty_limit_pages: (dirty_limit_bytes / PAGE_SIZE as u64).max(4) as usize,
+            state: Mutex::new(CacheState {
+                pages: HashMap::new(),
+                files: HashMap::new(),
+                tick: 0,
+                dirty_total: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            flushed_pages: AtomicU64::new(0),
+            flush_batches: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            flushed_pages: self.flushed_pages.load(Ordering::Relaxed),
+            flush_batches: self.flush_batches.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.state.lock().pages.len()
+    }
+
+    /// Bytes of pending (unflushed) dirty data.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.state.lock().dirty_total as u64 * PAGE_SIZE as u64
+    }
+
+    /// The file size including unflushed extensions, if larger than `fs_size`.
+    pub fn effective_size(&self, dev: DevId, ino: Ino, fs_size: u64) -> u64 {
+        let st = self.state.lock();
+        st.files
+            .get(&(dev, ino))
+            .and_then(|f| f.pending_size)
+            .map_or(fs_size, |p| p.max(fs_size))
+    }
+
+    /// The mtime of the most recent buffered write, if any data is pending.
+    pub fn pending_mtime(&self, dev: DevId, ino: Ino) -> Option<cntr_types::Timespec> {
+        self.state.lock().files.get(&(dev, ino)).and_then(|f| f.pending_mtime)
+    }
+
+    /// Drops cached pages fully inside `[offset, offset+len)` — used after a
+    /// hole punch so stale buffered data cannot shadow the hole.
+    pub fn drop_range(&self, dev: DevId, ino: Ino, offset: u64, len: u64) {
+        let first = offset.div_ceil(PAGE_SIZE as u64);
+        let last = (offset + len) / PAGE_SIZE as u64;
+        let mut st = self.state.lock();
+        let mut dropped_dirty = 0u64;
+        st.pages.retain(|k, e| {
+            let doomed = k.dev == dev && k.ino == ino && k.page >= first && k.page < last;
+            if doomed && e.dirty {
+                dropped_dirty += 1;
+            }
+            !doomed
+        });
+        st.dirty_total = st.dirty_total.saturating_sub(dropped_dirty as usize);
+        if let Some(f) = st.files.get_mut(&(dev, ino)) {
+            f.dirty_pages = f.dirty_pages.saturating_sub(dropped_dirty);
+        }
+    }
+
+    /// Reads through the cache. `file` supplies the fill path; `size` is the
+    /// effective file size (reads are clipped to it by the caller).
+    pub fn read(
+        &self,
+        dev: DevId,
+        mode: CacheMode,
+        file: &Arc<FileRef>,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SysResult<usize> {
+        let ino = file.ino;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = offset + done as u64;
+            let page_no = off / PAGE_SIZE as u64;
+            let in_page = (off % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - done);
+            let key = PageKey {
+                dev,
+                ino,
+                page: page_no,
+            };
+
+            let hit = {
+                let mut st = self.state.lock();
+                st.tick += 1;
+                let tick = st.tick;
+                if let Some(entry) = st.pages.get_mut(&key) {
+                    entry.last_access = tick;
+                    match &entry.data {
+                        Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                        None => buf[done..done + n].fill(0),
+                    }
+                    true
+                } else {
+                    false
+                }
+            };
+
+            if hit {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.clock.advance(self.cost.page_cache_hit_ns);
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Fill the whole page from the filesystem (outside the lock:
+                // a FUSE fill re-enters the kernel through the server).
+                let page_off = page_no * PAGE_SIZE as u64;
+                let mut data = if mode.synthetic {
+                    None
+                } else {
+                    Some(Box::new([0u8; PAGE_SIZE]))
+                };
+                if let Some(p) = data.as_deref_mut() {
+                    let got = file.fs.read(ino, file.fh, page_off, &mut p[..])?;
+                    p[got..].fill(0);
+                } else {
+                    // Synthetic mode: the fill must still be a real
+                    // page-sized read so every layer below (FUSE round trips,
+                    // readahead, disk) charges its true cost — only the bytes
+                    // are discarded. Stack-allocated: the fill re-enters this
+                    // function through the FUSE server.
+                    let mut sink = [0u8; PAGE_SIZE];
+                    file.fs.read(ino, file.fh, page_off, &mut sink)?;
+                }
+                match &data {
+                    Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                    None => buf[done..done + n].fill(0),
+                }
+                let mut st = self.state.lock();
+                st.tick += 1;
+                let tick = st.tick;
+                st.pages.insert(
+                    key,
+                    PageEntry {
+                        data,
+                        dirty: false,
+                        version: 0,
+                        last_access: tick,
+                    },
+                );
+                drop(st);
+                self.maybe_evict();
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+
+    /// Writes through the cache according to `mode`.
+    ///
+    /// Write-through: the filesystem sees the write immediately and pages are
+    /// updated in place. Writeback: pages go dirty and are flushed in batches
+    /// when the dirty threshold is exceeded (or on [`PageCache::fsync`]).
+    pub fn write(
+        &self,
+        dev: DevId,
+        mode: CacheMode,
+        file: &Arc<FileRef>,
+        offset: u64,
+        data: &[u8],
+    ) -> SysResult<usize> {
+        let ino = file.ino;
+        if !mode.writeback {
+            // Write-through: filesystem first (it may fail), then cache.
+            let written = file.fs.write(ino, file.fh, offset, data)?;
+            self.update_clean_pages(dev, ino, mode, offset, &data[..written]);
+            return Ok(written);
+        }
+
+        let mut done = 0usize;
+        while done < data.len() {
+            let off = offset + done as u64;
+            let page_no = off / PAGE_SIZE as u64;
+            let in_page = (off % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let key = PageKey {
+                dev,
+                ino,
+                page: page_no,
+            };
+            let mut st = self.state.lock();
+            st.tick += 1;
+            let tick = st.tick;
+            let entry = st.pages.entry(key).or_insert_with(|| PageEntry {
+                data: if mode.synthetic {
+                    None
+                } else {
+                    Some(Box::new([0u8; PAGE_SIZE]))
+                },
+                dirty: false,
+                version: 0,
+                last_access: tick,
+            });
+            if let Some(p) = entry.data.as_deref_mut() {
+                p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            }
+            entry.last_access = tick;
+            entry.version += 1;
+            let newly_dirty = !entry.dirty;
+            entry.dirty = true;
+            if newly_dirty {
+                st.dirty_total += 1;
+                let fstate = st.files.entry((dev, ino)).or_insert_with(|| FileState {
+                    flush_ref: None,
+                    pending_size: None,
+                    pending_mtime: None,
+                    dirty_pages: 0,
+                });
+                fstate.dirty_pages += 1;
+            }
+            let now = self.clock.now();
+            let fstate = st.files.entry((dev, ino)).or_insert_with(|| FileState {
+                flush_ref: None,
+                pending_size: None,
+                pending_mtime: None,
+                dirty_pages: 0,
+            });
+            fstate.pending_mtime = Some(now);
+            if fstate.flush_ref.is_none() {
+                fstate.flush_ref = Some(Arc::clone(file));
+            }
+            let end = off + n as u64;
+            fstate.pending_size = Some(fstate.pending_size.unwrap_or(0).max(end));
+            drop(st);
+            self.clock.advance(self.cost.page_cache_hit_ns);
+            done += n;
+        }
+
+        let over_limit = { self.state.lock().dirty_total > self.dirty_limit_pages };
+        if over_limit && !IN_FLUSH.with(std::cell::Cell::get) {
+            self.flush_until_below_limit()?;
+        }
+        self.maybe_evict();
+        Ok(data.len())
+    }
+
+    /// Updates (or populates) clean cached pages after a write-through.
+    fn update_clean_pages(
+        &self,
+        dev: DevId,
+        ino: Ino,
+        mode: CacheMode,
+        offset: u64,
+        data: &[u8],
+    ) {
+        let mut done = 0usize;
+        let mut st = self.state.lock();
+        while done < data.len() {
+            let off = offset + done as u64;
+            let page_no = off / PAGE_SIZE as u64;
+            let in_page = (off % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            st.tick += 1;
+            let tick = st.tick;
+            let entry = st
+                .pages
+                .entry(PageKey {
+                    dev,
+                    ino,
+                    page: page_no,
+                })
+                .or_insert_with(|| PageEntry {
+                    data: if mode.synthetic {
+                        None
+                    } else {
+                        Some(Box::new([0u8; PAGE_SIZE]))
+                    },
+                    dirty: false,
+                    version: 0,
+                    last_access: tick,
+                });
+            if let Some(p) = entry.data.as_deref_mut() {
+                p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            }
+            entry.last_access = tick;
+            done += n;
+        }
+    }
+
+    /// Flushes every dirty page of one file, merging contiguous dirty pages
+    /// into single large filesystem writes — the coalescing that makes
+    /// writeback-cached CntrFS *beat* native ext4 on FIO and PGBench in
+    /// Figure 2.
+    pub fn flush_file(&self, dev: DevId, ino: Ino) -> SysResult<()> {
+        let _guard = FlushGuard::enter();
+        let (runs, flush_ref) = {
+            let st = self.state.lock();
+            let Some(fstate) = st.files.get(&(dev, ino)) else {
+                return Ok(());
+            };
+            let Some(flush_ref) = fstate.flush_ref.clone() else {
+                return Ok(());
+            };
+            // Collect dirty page numbers (sorted) with their versions.
+            let mut dirty: Vec<(u64, u64)> = st
+                .pages
+                .iter()
+                .filter(|(k, e)| k.dev == dev && k.ino == ino && e.dirty)
+                .map(|(k, e)| (k.page, e.version))
+                .collect();
+            dirty.sort_unstable();
+            // Merge contiguous pages into runs, capturing the data.
+            let mut runs: Vec<FlushRun> = Vec::new();
+            for (page, version) in dirty {
+                let key = PageKey { dev, ino, page };
+                let bytes: Vec<u8> = match &st.pages[&key].data {
+                    Some(p) => p.to_vec(),
+                    None => vec![0u8; PAGE_SIZE],
+                };
+                match runs.last_mut() {
+                    Some((start, buf, members))
+                        if *start + (buf.len() / PAGE_SIZE) as u64 == page =>
+                    {
+                        buf.extend_from_slice(&bytes);
+                        members.push((page, version));
+                    }
+                    _ => runs.push((page, bytes, vec![(page, version)])),
+                }
+            }
+            (runs, flush_ref)
+        };
+
+        let pending = {
+            let st = self.state.lock();
+            st.files.get(&(dev, ino)).and_then(|f| f.pending_size)
+        };
+
+        for (start_page, mut buf, members) in runs {
+            let offset = start_page * PAGE_SIZE as u64;
+            // Clip the final run to the pending size so flushing does not
+            // extend the file past what was written.
+            if let Some(size) = pending {
+                let end = offset + buf.len() as u64;
+                if end > size && size > offset {
+                    buf.truncate((size - offset) as usize);
+                }
+            }
+            // Writeback is background I/O: it occupies the disk but does not
+            // stall the writer. An fsync barrier (`fs.fsync` → device flush)
+            // waits for the backlog.
+            {
+                let _bg = cntr_blockdev::BackgroundIo::enter();
+                flush_ref.fs.write(ino, flush_ref.fh, offset, &buf)?;
+            }
+            self.flush_batches.fetch_add(1, Ordering::Relaxed);
+            self.flushed_pages
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            let mut st = self.state.lock();
+            for (page, version) in members {
+                let key = PageKey { dev, ino, page };
+                if let Some(e) = st.pages.get_mut(&key) {
+                    // Only mark clean if not re-dirtied during the write.
+                    if e.dirty && e.version == version {
+                        e.dirty = false;
+                        st.dirty_total = st.dirty_total.saturating_sub(1);
+                        if let Some(f) = st.files.get_mut(&(dev, ino)) {
+                            f.dirty_pages = f.dirty_pages.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut st = self.state.lock();
+        if let Some(f) = st.files.get_mut(&(dev, ino)) {
+            if f.dirty_pages == 0 {
+                f.pending_size = None;
+                f.pending_mtime = None;
+                f.flush_ref = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes files (largest dirty set first) until below half the dirty
+    /// limit.
+    fn flush_until_below_limit(&self) -> SysResult<()> {
+        loop {
+            let victim = {
+                let st = self.state.lock();
+                if st.dirty_total <= self.dirty_limit_pages / 2 {
+                    return Ok(());
+                }
+                st.files
+                    .iter()
+                    .filter(|(_, f)| f.dirty_pages > 0)
+                    .max_by_key(|(_, f)| f.dirty_pages)
+                    .map(|(&k, _)| k)
+            };
+            match victim {
+                Some((dev, ino)) => self.flush_file(dev, ino)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// `fsync`: flush the file's dirty pages, then ask the filesystem to
+    /// sync.
+    pub fn fsync(&self, dev: DevId, file: &Arc<FileRef>, datasync: bool) -> SysResult<()> {
+        self.flush_file(dev, file.ino)?;
+        file.fs.fsync(file.ino, file.fh, datasync)
+    }
+
+    /// Drops all pages of a file (open without `keep_cache`, or truncate).
+    /// Dirty pages are flushed first so data is never lost.
+    pub fn invalidate_file(&self, dev: DevId, ino: Ino) -> SysResult<()> {
+        self.flush_file(dev, ino)?;
+        let mut st = self.state.lock();
+        st.pages.retain(|k, _| !(k.dev == dev && k.ino == ino));
+        st.files.remove(&(dev, ino));
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops pages beyond `new_size` after a truncate.
+    pub fn truncate_file(&self, dev: DevId, ino: Ino, new_size: u64) {
+        let first_gone = new_size.div_ceil(PAGE_SIZE as u64);
+        let mut st = self.state.lock();
+        let mut dropped_dirty = 0u64;
+        st.pages.retain(|k, e| {
+            let doomed = k.dev == dev && k.ino == ino && k.page >= first_gone;
+            if doomed && e.dirty {
+                dropped_dirty += 1;
+            }
+            !doomed
+        });
+        st.dirty_total = st.dirty_total.saturating_sub(dropped_dirty as usize);
+        if let Some(f) = st.files.get_mut(&(dev, ino)) {
+            f.dirty_pages = f.dirty_pages.saturating_sub(dropped_dirty);
+            if let Some(p) = f.pending_size {
+                f.pending_size = Some(p.min(new_size));
+            }
+            if f.dirty_pages == 0 && f.pending_size.is_none() {
+                st.files.remove(&(dev, ino));
+            }
+        }
+    }
+
+    /// Flushes everything dirty (unmount, global `sync`).
+    pub fn sync_all(&self) -> SysResult<()> {
+        loop {
+            let victim = {
+                let st = self.state.lock();
+                st.files
+                    .iter()
+                    .filter(|(_, f)| f.dirty_pages > 0)
+                    .map(|(&k, _)| k)
+                    .next()
+            };
+            match victim {
+                Some((dev, ino)) => self.flush_file(dev, ino)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Drops every clean page (the `drop_caches` knob). Dirty data is
+    /// flushed first so nothing is lost.
+    pub fn drop_clean(&self) -> SysResult<()> {
+        self.sync_all()?;
+        let mut st = self.state.lock();
+        st.pages.clear();
+        st.files.clear();
+        Ok(())
+    }
+
+    /// Drops one filesystem's pages only (e.g. just the FUSE mount's half of
+    /// a double-buffered file, leaving the server's copy warm).
+    pub fn drop_dev(&self, dev: DevId) -> SysResult<()> {
+        self.sync_all()?;
+        let mut st = self.state.lock();
+        st.pages.retain(|k, _| k.dev != dev);
+        st.files.retain(|&(d, _), _| d != dev);
+        Ok(())
+    }
+
+    /// Evicts ~1/16 of capacity worth of clean LRU pages when over capacity.
+    fn maybe_evict(&self) {
+        let mut st = self.state.lock();
+        if st.pages.len() <= self.capacity_pages {
+            return;
+        }
+        let target = self.capacity_pages - self.capacity_pages / 16;
+        let mut candidates: Vec<(u64, PageKey)> = st
+            .pages
+            .iter()
+            .filter(|(_, e)| !e.dirty)
+            .map(|(k, e)| (e.last_access, *k))
+            .collect();
+        candidates.sort_unstable_by_key(|(t, _)| *t);
+        let need = st.pages.len().saturating_sub(target);
+        let mut evicted = 0u64;
+        for (_, key) in candidates.into_iter().take(need) {
+            st.pages.remove(&key);
+            evicted += 1;
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntr_fs::memfs::memfs;
+    use cntr_fs::FsContext;
+    use cntr_types::{FileType, Mode, OpenFlags};
+
+    fn setup(cache_bytes: u64, dirty_bytes: u64) -> (Arc<PageCache>, Arc<FileRef>, DevId) {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let st = fs
+            .mknod(
+                cntr_types::Ino::ROOT,
+                "f",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &FsContext::root(),
+            )
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        let file = Arc::new(FileRef {
+            fs: fs.clone() as Arc<dyn Filesystem>,
+            ino: st.ino,
+            fh,
+        });
+        let cache = Arc::new(PageCache::new(
+            clock,
+            CostModel::calibrated(),
+            cache_bytes,
+            dirty_bytes,
+        ));
+        (cache, file, DevId(1))
+    }
+
+    #[test]
+    fn writeback_roundtrip_through_cache() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 20);
+        let mode = CacheMode::native();
+        let data = b"writeback data".to_vec();
+        cache.write(dev, mode, &file, 10, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        cache.read(dev, mode, &file, 10, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Not yet flushed: the filesystem still sees size 0.
+        assert_eq!(file.fs.getattr(file.ino).unwrap().size, 0);
+        assert_eq!(cache.effective_size(dev, file.ino, 0), 24);
+        cache.flush_file(dev, file.ino).unwrap();
+        assert_eq!(file.fs.getattr(file.ino).unwrap().size, 24);
+    }
+
+    #[test]
+    fn write_through_reaches_fs_immediately() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 20);
+        let mode = CacheMode::uncached();
+        cache.write(dev, mode, &file, 0, b"now").unwrap();
+        assert_eq!(file.fs.getattr(file.ino).unwrap().size, 3);
+        assert_eq!(cache.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn dirty_limit_triggers_coalesced_flush() {
+        let (cache, file, dev) = setup(64 << 20, 16 * PAGE_SIZE as u64);
+        let mode = CacheMode::native();
+        // 64 small sequential writes = 32 pages of dirty data.
+        for i in 0..64u64 {
+            cache
+                .write(dev, mode, &file, i * 2048, &[1u8; 2048])
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.flushed_pages > 0, "dirty limit must force a flush");
+        // Coalescing: far fewer batches than pages.
+        assert!(
+            stats.flush_batches * 4 <= stats.flushed_pages,
+            "batches={} pages={}",
+            stats.flush_batches,
+            stats.flushed_pages
+        );
+    }
+
+    #[test]
+    fn fsync_flushes_and_syncs() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 30);
+        cache
+            .write(dev, CacheMode::native(), &file, 0, &[7u8; 8192])
+            .unwrap();
+        assert!(cache.dirty_bytes() > 0);
+        cache.fsync(dev, &file, false).unwrap();
+        assert_eq!(cache.dirty_bytes(), 0);
+        assert_eq!(file.fs.getattr(file.ino).unwrap().size, 8192);
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 20);
+        // Put data in the fs directly.
+        file.fs.write(file.ino, file.fh, 0, &[9u8; 4096]).unwrap();
+        let mode = CacheMode::native();
+        let mut buf = [0u8; 4096];
+        cache.read(dev, mode, &file, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+        let s1 = cache.stats();
+        assert_eq!(s1.misses, 1);
+        cache.read(dev, mode, &file, 0, &mut buf).unwrap();
+        let s2 = cache.stats();
+        assert_eq!(s2.hits, s1.hits + 1);
+        assert_eq!(s2.misses, 1);
+    }
+
+    #[test]
+    fn eviction_under_capacity_pressure() {
+        let (cache, file, dev) = setup(32 * PAGE_SIZE as u64, 1 << 30);
+        let mode = CacheMode::native();
+        file.fs
+            .write(file.ino, file.fh, 0, &vec![3u8; 128 * PAGE_SIZE])
+            .unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for page in 0..128u64 {
+            cache
+                .read(dev, mode, &file, page * PAGE_SIZE as u64, &mut buf)
+                .unwrap();
+        }
+        assert!(cache.resident_pages() <= 32);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn invalidate_drops_pages_but_preserves_data() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 30);
+        let mode = CacheMode::native();
+        cache.write(dev, mode, &file, 0, b"precious").unwrap();
+        cache.invalidate_file(dev, file.ino).unwrap();
+        assert_eq!(cache.resident_pages(), 0);
+        // Data was flushed, not lost.
+        let mut buf = [0u8; 8];
+        file.fs.read(file.ino, file.fh, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"precious");
+    }
+
+    #[test]
+    fn truncate_drops_tail_pages() {
+        let (cache, file, dev) = setup(1 << 20, 1 << 30);
+        let mode = CacheMode::native();
+        cache
+            .write(dev, mode, &file, 0, &vec![5u8; 4 * PAGE_SIZE])
+            .unwrap();
+        cache.truncate_file(dev, file.ino, PAGE_SIZE as u64);
+        assert_eq!(cache.resident_pages(), 1);
+        assert_eq!(
+            cache.effective_size(dev, file.ino, PAGE_SIZE as u64),
+            PAGE_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn synthetic_pages_cost_time_but_no_memory() {
+        let (cache, file, dev) = setup(1 << 30, 1 << 30);
+        let mode = CacheMode {
+            synthetic: true,
+            ..CacheMode::native()
+        };
+        cache
+            .write(dev, mode, &file, 0, &vec![0u8; 64 * PAGE_SIZE])
+            .unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        cache.read(dev, mode, &file, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(cache.resident_pages(), 64);
+    }
+}

@@ -1,0 +1,564 @@
+//! A synthetic `/proc` filesystem.
+//!
+//! CNTR "reads this information by inspecting the /proc filesystem of the
+//! main process within the container" (paper §3.2.1) and later bind-mounts
+//! the application's `/proc` into the nested namespace so tools see the
+//! container's processes. `ProcFs` implements enough of procfs for both:
+//! per-pid directories with `status`, `environ`, `cmdline`, `cgroup`,
+//! `mounts` and `ns/<kind>` entries, generated live from kernel state.
+//!
+//! Inode layout: root = 1; `/proc/<pid>` = `pid * 1000`; files inside are
+//! `pid * 1000 + k`; `ns/` is `pid * 1000 + 100` with kind files following.
+
+use crate::kernel::KernelInner;
+use crate::ns::{NamespaceKind, ALL_KINDS};
+use cntr_fs::{FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags};
+use cntr_types::{
+    Dirent, DevId, Errno, FileType, Gid, Ino, Mode, OpenFlags, Pid, RenameFlags, SetAttr, Stat,
+    Statfs, SysResult, Timespec, Uid,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+const PID_STRIDE: u64 = 1000;
+const F_STATUS: u64 = 1;
+const F_ENVIRON: u64 = 2;
+const F_CMDLINE: u64 = 3;
+const F_CGROUP: u64 = 4;
+const F_MOUNTS: u64 = 5;
+const D_NS: u64 = 100;
+
+/// The `/proc` filesystem.
+pub struct ProcFs {
+    dev: DevId,
+    kernel: Weak<KernelInner>,
+    next_fh: AtomicU64,
+}
+
+impl ProcFs {
+    /// Creates a `/proc` view over a kernel.
+    pub(crate) fn new(dev: DevId, kernel: Weak<KernelInner>) -> Arc<ProcFs> {
+        Arc::new(ProcFs {
+            dev,
+            kernel,
+            next_fh: AtomicU64::new(1),
+        })
+    }
+
+    fn kernel(&self) -> SysResult<Arc<KernelInner>> {
+        self.kernel.upgrade().ok_or(Errno::EIO)
+    }
+
+    fn classify(ino: Ino) -> ProcNode {
+        let v = ino.raw();
+        if v == 1 {
+            return ProcNode::Root;
+        }
+        let pid = Pid((v / PID_STRIDE) as u32);
+        match v % PID_STRIDE {
+            0 => ProcNode::PidDir(pid),
+            F_STATUS => ProcNode::File(pid, ProcFile::Status),
+            F_ENVIRON => ProcNode::File(pid, ProcFile::Environ),
+            F_CMDLINE => ProcNode::File(pid, ProcFile::Cmdline),
+            F_CGROUP => ProcNode::File(pid, ProcFile::Cgroup),
+            F_MOUNTS => ProcNode::File(pid, ProcFile::Mounts),
+            D_NS => ProcNode::NsDir(pid),
+            k if (D_NS + 1..=D_NS + 7).contains(&k) => {
+                ProcNode::File(pid, ProcFile::Ns(ALL_KINDS[(k - D_NS - 1) as usize]))
+            }
+            _ => ProcNode::Unknown,
+        }
+    }
+
+    fn pid_exists(&self, pid: Pid) -> bool {
+        self.kernel()
+            .map(|k| k.state.lock().processes.contains_key(&pid))
+            .unwrap_or(false)
+    }
+
+    fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
+        let kernel = self.kernel()?;
+        let st = kernel.state.lock();
+        let p = st.processes.get(&pid).ok_or(Errno::ENOENT)?;
+        let out = match file {
+            ProcFile::Status => format!(
+                "Name:\t{}\nState:\t{}\nPid:\t{}\nPPid:\t{}\nUid:\t{} {} {} {}\nGid:\t{} {} {} {}\nCapEff:\t{:016x}\nCapBnd:\t{:016x}\nSeccomp:\t0\n",
+                p.name,
+                match p.state {
+                    crate::process::ProcessState::Running => "R (running)",
+                    crate::process::ProcessState::Zombie => "Z (zombie)",
+                },
+                p.pid,
+                p.ppid,
+                p.creds.uid, p.creds.uid, p.creds.uid, p.creds.uid,
+                p.creds.gid, p.creds.gid, p.creds.gid, p.creds.gid,
+                p.creds.caps.raw(),
+                p.creds.bounding.raw(),
+            )
+            .into_bytes(),
+            ProcFile::Environ => {
+                let mut buf = Vec::new();
+                for (k, v) in &p.env {
+                    buf.extend_from_slice(k.as_bytes());
+                    buf.push(b'=');
+                    buf.extend_from_slice(v.as_bytes());
+                    buf.push(0);
+                }
+                buf
+            }
+            ProcFile::Cmdline => {
+                let mut b = p.name.clone().into_bytes();
+                b.push(0);
+                b
+            }
+            ProcFile::Cgroup => format!("0::{}\n", p.cgroup.0).into_bytes(),
+            ProcFile::Mounts => {
+                let ns = st.mount_ns.get(&p.ns.mount).ok_or(Errno::EIO)?;
+                let mut out = String::new();
+                for m in ns.iter() {
+                    out.push_str(&format!(
+                        "{} {} rw 0 0\n",
+                        m.fs.fs_type(),
+                        m.id
+                    ));
+                }
+                out.into_bytes()
+            }
+            ProcFile::Ns(kind) => {
+                format!("{}:[{}]", kind.proc_name(), p.ns.get(kind).0).into_bytes()
+            }
+        };
+        Ok(out)
+    }
+
+    fn dir_stat(&self, ino: Ino, uid: Uid, gid: Gid) -> Stat {
+        Stat {
+            dev: self.dev,
+            ino,
+            ftype: FileType::Directory,
+            mode: Mode::new(0o555),
+            nlink: 2,
+            uid,
+            gid,
+            rdev: 0,
+            size: 0,
+            blocks: 0,
+            blksize: 4096,
+            atime: Timespec::ZERO,
+            mtime: Timespec::ZERO,
+            ctime: Timespec::ZERO,
+        }
+    }
+
+    fn file_stat(&self, ino: Ino, uid: Uid, gid: Gid, size: u64) -> Stat {
+        Stat {
+            dev: self.dev,
+            ino,
+            ftype: FileType::Regular,
+            mode: Mode::new(0o444),
+            nlink: 1,
+            uid,
+            gid,
+            rdev: 0,
+            size,
+            blocks: 0,
+            blksize: 4096,
+            atime: Timespec::ZERO,
+            mtime: Timespec::ZERO,
+            ctime: Timespec::ZERO,
+        }
+    }
+
+    fn owner_of(&self, pid: Pid) -> (Uid, Gid) {
+        self.kernel()
+            .ok()
+            .and_then(|k| {
+                let st = k.state.lock();
+                st.processes
+                    .get(&pid)
+                    .map(|p| (p.creds.uid, p.creds.gid))
+            })
+            .unwrap_or((Uid::ROOT, Gid::ROOT))
+    }
+
+    fn node_stat(&self, ino: Ino) -> SysResult<Stat> {
+        match Self::classify(ino) {
+            ProcNode::Root => Ok(self.dir_stat(ino, Uid::ROOT, Gid::ROOT)),
+            ProcNode::PidDir(pid) | ProcNode::NsDir(pid) => {
+                if !self.pid_exists(pid) {
+                    return Err(Errno::ENOENT);
+                }
+                let (uid, gid) = self.owner_of(pid);
+                Ok(self.dir_stat(ino, uid, gid))
+            }
+            ProcNode::File(pid, f) => {
+                let size = self.content(pid, f)?.len() as u64;
+                let (uid, gid) = self.owner_of(pid);
+                Ok(self.file_stat(ino, uid, gid, size))
+            }
+            ProcNode::Unknown => Err(Errno::ENOENT),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ProcFile {
+    Status,
+    Environ,
+    Cmdline,
+    Cgroup,
+    Mounts,
+    Ns(NamespaceKind),
+}
+
+enum ProcNode {
+    Root,
+    PidDir(Pid),
+    NsDir(Pid),
+    File(Pid, ProcFile),
+    Unknown,
+}
+
+impl Filesystem for ProcFs {
+    fn fs_id(&self) -> DevId {
+        self.dev
+    }
+
+    fn fs_type(&self) -> &'static str {
+        "proc"
+    }
+
+    fn features(&self) -> FsFeatures {
+        FsFeatures {
+            direct_io: false,
+            exportable_handles: false,
+            enforces_caller_fsize: true,
+            native_setgid_clearing: true,
+            block_backed: false,
+            reflink: false,
+            xattr_cached: true,
+        }
+    }
+
+    fn lookup(&self, parent: Ino, name: &str) -> SysResult<Stat> {
+        match Self::classify(parent) {
+            ProcNode::Root => {
+                let pid: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
+                if !self.pid_exists(Pid(pid)) {
+                    return Err(Errno::ENOENT);
+                }
+                self.node_stat(Ino(u64::from(pid) * PID_STRIDE))
+            }
+            ProcNode::PidDir(pid) => {
+                let base = pid.raw() as u64 * PID_STRIDE;
+                let ino = match name {
+                    "status" => base + F_STATUS,
+                    "environ" => base + F_ENVIRON,
+                    "cmdline" => base + F_CMDLINE,
+                    "cgroup" => base + F_CGROUP,
+                    "mounts" => base + F_MOUNTS,
+                    "ns" => base + D_NS,
+                    _ => return Err(Errno::ENOENT),
+                };
+                self.node_stat(Ino(ino))
+            }
+            ProcNode::NsDir(pid) => {
+                let base = pid.raw() as u64 * PID_STRIDE;
+                let idx = ALL_KINDS
+                    .iter()
+                    .position(|k| k.proc_name() == name)
+                    .ok_or(Errno::ENOENT)?;
+                self.node_stat(Ino(base + D_NS + 1 + idx as u64))
+            }
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn getattr(&self, ino: Ino) -> SysResult<Stat> {
+        self.node_stat(ino)
+    }
+
+    fn setattr(&self, _ino: Ino, _attr: &SetAttr, _ctx: &FsContext) -> SysResult<Stat> {
+        Err(Errno::EPERM)
+    }
+
+    fn mknod(
+        &self,
+        _parent: Ino,
+        _name: &str,
+        _ftype: FileType,
+        _mode: Mode,
+        _rdev: u64,
+        _ctx: &FsContext,
+    ) -> SysResult<Stat> {
+        Err(Errno::EROFS)
+    }
+
+    fn mkdir(&self, _parent: Ino, _name: &str, _mode: Mode, _ctx: &FsContext) -> SysResult<Stat> {
+        Err(Errno::EROFS)
+    }
+
+    fn unlink(&self, _parent: Ino, _name: &str) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rmdir(&self, _parent: Ino, _name: &str) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn symlink(
+        &self,
+        _parent: Ino,
+        _name: &str,
+        _target: &str,
+        _ctx: &FsContext,
+    ) -> SysResult<Stat> {
+        Err(Errno::EROFS)
+    }
+
+    fn readlink(&self, _ino: Ino) -> SysResult<String> {
+        Err(Errno::EINVAL)
+    }
+
+    fn link(&self, _ino: Ino, _newparent: Ino, _newname: &str) -> SysResult<Stat> {
+        Err(Errno::EROFS)
+    }
+
+    fn rename(
+        &self,
+        _parent: Ino,
+        _name: &str,
+        _newparent: Ino,
+        _newname: &str,
+        _flags: RenameFlags,
+    ) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn open(&self, ino: Ino, flags: OpenFlags) -> SysResult<Fh> {
+        if flags.mode.writable() {
+            return Err(Errno::EACCES);
+        }
+        self.node_stat(ino)?;
+        Ok(Fh(self.next_fh.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    fn release(&self, _ino: Ino, _fh: Fh) -> SysResult<()> {
+        Ok(())
+    }
+
+    fn read(&self, ino: Ino, _fh: Fh, offset: u64, buf: &mut [u8]) -> SysResult<usize> {
+        match Self::classify(ino) {
+            ProcNode::File(pid, f) => {
+                let content = self.content(pid, f)?;
+                if offset >= content.len() as u64 {
+                    return Ok(0);
+                }
+                let n = buf.len().min(content.len() - offset as usize);
+                buf[..n].copy_from_slice(&content[offset as usize..offset as usize + n]);
+                Ok(n)
+            }
+            _ => Err(Errno::EISDIR),
+        }
+    }
+
+    fn write(&self, _ino: Ino, _fh: Fh, _offset: u64, _data: &[u8]) -> SysResult<usize> {
+        Err(Errno::EROFS)
+    }
+
+    fn fsync(&self, _ino: Ino, _fh: Fh, _datasync: bool) -> SysResult<()> {
+        Ok(())
+    }
+
+    fn readdir(&self, ino: Ino) -> SysResult<Vec<Dirent>> {
+        match Self::classify(ino) {
+            ProcNode::Root => {
+                let kernel = self.kernel()?;
+                let st = kernel.state.lock();
+                let mut pids: Vec<Pid> = st.processes.keys().copied().collect();
+                pids.sort_unstable();
+                Ok(pids
+                    .into_iter()
+                    .map(|p| Dirent {
+                        ino: Ino(p.raw() as u64 * PID_STRIDE),
+                        name: p.to_string(),
+                        ftype: FileType::Directory,
+                    })
+                    .collect())
+            }
+            ProcNode::PidDir(pid) => {
+                if !self.pid_exists(pid) {
+                    return Err(Errno::ENOENT);
+                }
+                let base = pid.raw() as u64 * PID_STRIDE;
+                Ok([
+                    ("cgroup", base + F_CGROUP, FileType::Regular),
+                    ("cmdline", base + F_CMDLINE, FileType::Regular),
+                    ("environ", base + F_ENVIRON, FileType::Regular),
+                    ("mounts", base + F_MOUNTS, FileType::Regular),
+                    ("ns", base + D_NS, FileType::Directory),
+                    ("status", base + F_STATUS, FileType::Regular),
+                ]
+                .into_iter()
+                .map(|(n, i, t)| Dirent {
+                    ino: Ino(i),
+                    name: n.to_string(),
+                    ftype: t,
+                })
+                .collect())
+            }
+            ProcNode::NsDir(pid) => {
+                let base = pid.raw() as u64 * PID_STRIDE;
+                Ok(ALL_KINDS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| Dirent {
+                        ino: Ino(base + D_NS + 1 + i as u64),
+                        name: k.proc_name().to_string(),
+                        ftype: FileType::Regular,
+                    })
+                    .collect())
+            }
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn statfs(&self) -> SysResult<Statfs> {
+        Ok(Statfs {
+            bsize: 4096,
+            blocks: 0,
+            bfree: 0,
+            bavail: 0,
+            files: 0,
+            ffree: 0,
+            namelen: 255,
+        })
+    }
+
+    fn getxattr(&self, _ino: Ino, _name: &str) -> SysResult<Vec<u8>> {
+        Err(Errno::ENODATA)
+    }
+
+    fn setxattr(&self, _ino: Ino, _name: &str, _value: &[u8], _flags: XattrFlags) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn listxattr(&self, _ino: Ino) -> SysResult<Vec<String>> {
+        Ok(Vec::new())
+    }
+
+    fn removexattr(&self, _ino: Ino, _name: &str) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn fallocate(
+        &self,
+        _ino: Ino,
+        _fh: Fh,
+        _offset: u64,
+        _len: u64,
+        _mode: FallocateMode,
+    ) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelConfig};
+    use crate::mount::{CacheMode, MountFlags};
+    use cntr_fs::memfs::memfs;
+    use cntr_types::SimClock;
+
+    #[test]
+    fn procfs_reflects_processes() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        k.setenv(Pid::INIT, "MYSQL_HOST", "db.internal").unwrap();
+
+        // Read /proc/1/status through the VFS.
+        let fd = k
+            .open(Pid::INIT, "/proc/1/status", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
+        let mut buf = vec![0u8; 4096];
+        let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]).to_string();
+        assert!(text.contains("Name:\tinit"), "{text}");
+        assert!(text.contains("Pid:\t1"));
+        k.close(Pid::INIT, fd).unwrap();
+
+        // environ contains the variable.
+        let fd = k
+            .open(Pid::INIT, "/proc/1/environ", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
+        let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+        let env = String::from_utf8_lossy(&buf[..n]).to_string();
+        assert!(env.contains("MYSQL_HOST=db.internal"));
+        k.close(Pid::INIT, fd).unwrap();
+
+        // New processes show up; dead ones disappear.
+        let child = k.fork(Pid::INIT).unwrap();
+        assert!(k.stat(Pid::INIT, &format!("/proc/{child}/status")).is_ok());
+        let ns_text = {
+            let fd = k
+                .open(
+                    Pid::INIT,
+                    &format!("/proc/{child}/ns/mnt"),
+                    OpenFlags::RDONLY,
+                    Mode::RW_R__R__,
+                )
+                .unwrap();
+            let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+            k.close(Pid::INIT, fd).unwrap();
+            String::from_utf8_lossy(&buf[..n]).to_string()
+        };
+        assert!(ns_text.starts_with("mnt:["), "{ns_text}");
+        k.exit(child).unwrap();
+        k.reap(child).unwrap();
+        assert_eq!(
+            k.stat(Pid::INIT, &format!("/proc/{child}/status")),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn procfs_is_read_only() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        assert_eq!(
+            k.mkdir(Pid::INIT, "/proc/evil", Mode::RWXR_XR_X),
+            Err(Errno::EROFS)
+        );
+        assert_eq!(
+            k.open(
+                Pid::INIT,
+                "/proc/1/status",
+                OpenFlags::WRONLY,
+                Mode::RW_R__R__
+            ),
+            Err(Errno::EACCES)
+        );
+    }
+
+    // Silence the helper-trait dead-code path.
+    #[test]
+    fn bind_mount_proc_into_subtree() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        k.mkdir(Pid::INIT, "/jail", Mode::RWXR_XR_X).unwrap();
+        k.mkdir(Pid::INIT, "/jail/proc", Mode::RWXR_XR_X).unwrap();
+        k.bind_mount(Pid::INIT, "/proc", "/jail/proc", MountFlags::default())
+            .unwrap();
+        assert!(k.stat(Pid::INIT, "/jail/proc/1/status").is_ok());
+    }
+}

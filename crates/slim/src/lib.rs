@@ -1,0 +1,21 @@
+//! Docker Slim reproduction: build minimal images from access analysis.
+//!
+//! The paper's effectiveness evaluation (§5.3, Figure 5) applies Docker
+//! Slim to the Top-50 images on Docker Hub: "Docker Slim applies static and
+//! dynamic analyses to build a smaller-sized container image that only
+//! contains the files that are actually required by the application",
+//! recording accesses with fanotify. The result: a **66.6% average size
+//! reduction**, >75% of images reduced by 60–97%, and 6 of 50 images (Go
+//! single-binary containers) below 10%.
+//!
+//! * [`analyzer`] — the static (dependency closure) and dynamic (fanotify
+//!   recording) analyses and the slim-image builder,
+//! * [`corpus`] — a deterministic synthetic Top-50 corpus whose file-level
+//!   structure mirrors the real one (application + libraries vs distro
+//!   baggage; six Go-style single-binary images).
+
+pub mod analyzer;
+pub mod corpus;
+
+pub use analyzer::{DockerSlim, SlimReport};
+pub use corpus::{top50_corpus, CorpusImage};

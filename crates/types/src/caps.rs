@@ -1,0 +1,260 @@
+//! POSIX capabilities for the simulated kernel.
+//!
+//! CNTR gathers the capability set of the target container and applies it to
+//! the attached process so that tools never gain privileges beyond what the
+//! container already had (paper §3.2.1 and §3.2.3).
+
+use core::fmt;
+
+/// A Linux capability bit. Only the capabilities the simulation checks are
+/// modelled; numeric values match `linux/capability.h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Capability {
+    /// Override file permission checks.
+    DacOverride = 1,
+    /// Read any file, search any directory.
+    DacReadSearch = 2,
+    /// Bypass ownership checks on operations like utimes.
+    Fowner = 3,
+    /// Don't clear setuid/setgid on file modification.
+    Fsetid = 4,
+    /// Send signals to arbitrary processes.
+    Kill = 5,
+    /// Change GID arbitrarily.
+    Setgid = 6,
+    /// Change UID arbitrarily.
+    Setuid = 7,
+    /// Create device nodes with `mknod`.
+    Mknod = 27,
+    /// Use `chroot(2)`.
+    SysChroot = 18,
+    /// Trace arbitrary processes.
+    SysPtrace = 19,
+    /// Administer the system: mount, setns into foreign namespaces, etc.
+    SysAdmin = 21,
+    /// Raise process priorities.
+    SysNice = 23,
+    /// Override resource limits.
+    SysResource = 24,
+    /// Configure network interfaces.
+    NetAdmin = 12,
+    /// Bind privileged ports.
+    NetBindService = 10,
+    /// Change file ownership.
+    Chown = 0,
+    /// Write audit records / modify audit config.
+    AuditWrite = 29,
+    /// Set file capabilities.
+    Setfcap = 31,
+}
+
+/// Every modelled capability.
+pub const ALL_CAPS: &[Capability] = &[
+    Capability::Chown,
+    Capability::DacOverride,
+    Capability::DacReadSearch,
+    Capability::Fowner,
+    Capability::Fsetid,
+    Capability::Kill,
+    Capability::Setgid,
+    Capability::Setuid,
+    Capability::NetBindService,
+    Capability::NetAdmin,
+    Capability::SysChroot,
+    Capability::SysPtrace,
+    Capability::SysAdmin,
+    Capability::SysNice,
+    Capability::SysResource,
+    Capability::Mknod,
+    Capability::AuditWrite,
+    Capability::Setfcap,
+];
+
+impl Capability {
+    /// Canonical name, e.g. `"CAP_SYS_ADMIN"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Capability::Chown => "CAP_CHOWN",
+            Capability::DacOverride => "CAP_DAC_OVERRIDE",
+            Capability::DacReadSearch => "CAP_DAC_READ_SEARCH",
+            Capability::Fowner => "CAP_FOWNER",
+            Capability::Fsetid => "CAP_FSETID",
+            Capability::Kill => "CAP_KILL",
+            Capability::Setgid => "CAP_SETGID",
+            Capability::Setuid => "CAP_SETUID",
+            Capability::NetBindService => "CAP_NET_BIND_SERVICE",
+            Capability::NetAdmin => "CAP_NET_ADMIN",
+            Capability::SysChroot => "CAP_SYS_CHROOT",
+            Capability::SysPtrace => "CAP_SYS_PTRACE",
+            Capability::SysAdmin => "CAP_SYS_ADMIN",
+            Capability::SysNice => "CAP_SYS_NICE",
+            Capability::SysResource => "CAP_SYS_RESOURCE",
+            Capability::Mknod => "CAP_MKNOD",
+            Capability::AuditWrite => "CAP_AUDIT_WRITE",
+            Capability::Setfcap => "CAP_SETFCAP",
+        }
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of capabilities, stored as a 64-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CapSet(u64);
+
+impl CapSet {
+    /// The empty set.
+    pub const EMPTY: CapSet = CapSet(0);
+
+    /// The full set of every modelled capability (what root in the initial
+    /// user namespace holds).
+    pub fn full() -> CapSet {
+        let mut s = CapSet::EMPTY;
+        for &c in ALL_CAPS {
+            s.add(c);
+        }
+        s
+    }
+
+    /// The default Docker capability bounding set (a strict subset of full;
+    /// notably *without* `CAP_SYS_ADMIN` and `CAP_SYS_PTRACE`).
+    pub fn docker_default() -> CapSet {
+        let mut s = CapSet::EMPTY;
+        for c in [
+            Capability::Chown,
+            Capability::DacOverride,
+            Capability::Fowner,
+            Capability::Fsetid,
+            Capability::Kill,
+            Capability::Setgid,
+            Capability::Setuid,
+            Capability::NetBindService,
+            Capability::SysChroot,
+            Capability::Mknod,
+            Capability::AuditWrite,
+            Capability::Setfcap,
+        ] {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Adds a capability.
+    pub fn add(&mut self, c: Capability) {
+        self.0 |= 1 << (c as u8);
+    }
+
+    /// Removes a capability.
+    pub fn remove(&mut self, c: Capability) {
+        self.0 &= !(1 << (c as u8));
+    }
+
+    /// Membership test.
+    pub const fn has(self, c: Capability) -> bool {
+        self.0 & (1 << (c as u8)) != 0
+    }
+
+    /// True if `self` is a subset of `other`.
+    pub const fn subset_of(self, other: CapSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Set intersection — used when CNTR drops the attached process to the
+    /// container's bounding set.
+    #[must_use]
+    pub const fn intersect(self, other: CapSet) -> CapSet {
+        CapSet(self.0 & other.0)
+    }
+
+    /// Number of capabilities held.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if no capability is held.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over held capabilities.
+    pub fn iter(self) -> impl Iterator<Item = Capability> {
+        ALL_CAPS.iter().copied().filter(move |&c| self.has(c))
+    }
+
+    /// The raw bit mask (what `/proc/<pid>/status` prints as `CapEff`).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CapSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_has() {
+        let mut s = CapSet::EMPTY;
+        assert!(s.is_empty());
+        s.add(Capability::SysAdmin);
+        assert!(s.has(Capability::SysAdmin));
+        assert!(!s.has(Capability::SysPtrace));
+        s.remove(Capability::SysAdmin);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn docker_default_excludes_dangerous_caps() {
+        let d = CapSet::docker_default();
+        assert!(!d.has(Capability::SysAdmin));
+        assert!(!d.has(Capability::SysPtrace));
+        assert!(d.has(Capability::Chown));
+        assert!(d.has(Capability::SysChroot));
+        assert!(d.subset_of(CapSet::full()));
+    }
+
+    #[test]
+    fn intersect_models_capability_drop() {
+        let host = CapSet::full();
+        let container = CapSet::docker_default();
+        let attached = host.intersect(container);
+        assert_eq!(attached, container);
+        assert!(!attached.has(Capability::SysAdmin));
+    }
+
+    #[test]
+    fn iter_and_len_agree() {
+        let d = CapSet::docker_default();
+        assert_eq!(d.iter().count() as u32, d.len());
+        assert_eq!(CapSet::full().len() as usize, ALL_CAPS.len());
+    }
+
+    #[test]
+    fn display_formats_names() {
+        let mut s = CapSet::EMPTY;
+        s.add(Capability::SysAdmin);
+        assert_eq!(s.to_string(), "CAP_SYS_ADMIN");
+        assert_eq!(CapSet::EMPTY.to_string(), "(none)");
+    }
+}

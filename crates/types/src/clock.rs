@@ -1,0 +1,160 @@
+//! The virtual clock that all performance experiments run on.
+//!
+//! Absolute wall-clock numbers from the paper's EC2 testbed cannot be
+//! reproduced on arbitrary hardware; *ratios* can. Every simulated operation
+//! charges its cost to a [`SimClock`], making benchmark results deterministic
+//! and comparable: the Figure 2/3/4 reproductions assert their shape in
+//! ordinary `cargo test` runs.
+
+use crate::time::Timespec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable, monotonically increasing virtual clock (nanoseconds).
+///
+/// Cloning is cheap and all clones observe the same time. The clock is
+/// advanced explicitly by the component performing work; concurrent actors
+/// use [`SimClock::advance`], which is atomic.
+///
+/// # Examples
+///
+/// ```
+/// use cntr_types::SimClock;
+///
+/// let clock = SimClock::new();
+/// clock.advance(1_500); // a context switch
+/// assert_eq!(clock.now().as_nanos(), 1_500);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timespec {
+        Timespec::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `nanos` and returns the new time.
+    pub fn advance(&self, nanos: u64) -> Timespec {
+        let new = self.nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        Timespec::from_nanos(new)
+    }
+
+    /// Advances the clock to at least `target` (no-op if already past).
+    ///
+    /// Used by the block-device model: an I/O completing at an absolute time
+    /// moves the clock forward to that completion time.
+    pub fn advance_to(&self, target: Timespec) -> Timespec {
+        let t = target.as_nanos();
+        let mut cur = self.nanos.load(Ordering::Relaxed);
+        while cur < t {
+            match self
+                .nanos
+                .compare_exchange_weak(cur, t, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return target,
+                Err(actual) => cur = actual,
+            }
+        }
+        Timespec::from_nanos(cur)
+    }
+
+    /// Measures the virtual time consumed by `f`.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Timespec) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+/// A stopwatch over a [`SimClock`].
+#[derive(Debug, Clone)]
+pub struct SimStopwatch {
+    clock: SimClock,
+    start: Timespec,
+}
+
+impl SimStopwatch {
+    /// Starts a stopwatch at the clock's current time.
+    pub fn start(clock: &SimClock) -> SimStopwatch {
+        SimStopwatch {
+            clock: clock.clone(),
+            start: clock.now(),
+        }
+    }
+
+    /// Virtual time elapsed since start.
+    pub fn elapsed(&self) -> Timespec {
+        self.clock.now() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(100);
+        assert_eq!(b.now().as_nanos(), 100);
+        b.advance(50);
+        assert_eq!(a.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        c.advance(1000);
+        c.advance_to(Timespec::from_nanos(500)); // already past; no-op
+        assert_eq!(c.now().as_nanos(), 1000);
+        c.advance_to(Timespec::from_nanos(2000));
+        assert_eq!(c.now().as_nanos(), 2000);
+    }
+
+    #[test]
+    fn measure_reports_elapsed() {
+        let c = SimClock::new();
+        let (val, dt) = c.measure(|| {
+            c.advance(42);
+            "done"
+        });
+        assert_eq!(val, "done");
+        assert_eq!(dt.as_nanos(), 42);
+    }
+
+    #[test]
+    fn stopwatch() {
+        let c = SimClock::new();
+        let w = SimStopwatch::start(&c);
+        c.advance(7);
+        assert_eq!(w.elapsed().as_nanos(), 7);
+    }
+
+    #[test]
+    fn concurrent_advance_sums() {
+        let c = SimClock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.now().as_nanos(), 8000);
+    }
+}

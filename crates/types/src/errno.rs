@@ -1,0 +1,358 @@
+//! Error numbers mirroring the Linux `errno` values used by the simulated OS.
+//!
+//! Every fallible operation in the workspace returns [`SysResult<T>`], i.e.
+//! `Result<T, Errno>`, exactly like a Linux system call returns `-errno`.
+
+use core::fmt;
+
+/// Result type for every simulated system call.
+pub type SysResult<T> = Result<T, Errno>;
+
+/// A Linux-style error number.
+///
+/// The numeric values match x86-64 Linux so traces read naturally next to
+/// `strace` output. Only the errnos actually produced by the simulation are
+/// defined; the set covers the full filesystem API surface exercised by the
+/// xfstests reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error.
+    EIO = 5,
+    /// No such device or address.
+    ENXIO = 6,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Try again (non-blocking operation would block).
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link.
+    EXDEV = 18,
+    /// No such device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// File table overflow.
+    ENFILE = 23,
+    /// Too many open files.
+    EMFILE = 24,
+    /// Inappropriate ioctl for device.
+    ENOTTY = 25,
+    /// Text file busy.
+    ETXTBSY = 26,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Too many links.
+    EMLINK = 31,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Math argument out of domain.
+    EDOM = 33,
+    /// Result not representable.
+    ERANGE = 34,
+    /// Deadlock would occur.
+    EDEADLK = 35,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// No record locks available.
+    ENOLCK = 37,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many symbolic links encountered.
+    ELOOP = 40,
+    /// No data available (also: no such xattr).
+    ENODATA = 61,
+    /// Protocol error.
+    EPROTO = 71,
+    /// Value too large for defined data type.
+    EOVERFLOW = 75,
+    /// Invalid exchange: file handle is stale or not exportable.
+    EBADFD = 77,
+    /// Socket operation on non-socket.
+    ENOTSOCK = 88,
+    /// Operation not supported.
+    EOPNOTSUPP = 95,
+    /// Address already in use.
+    EADDRINUSE = 98,
+    /// Cannot assign requested address.
+    EADDRNOTAVAIL = 99,
+    /// Software caused connection abort.
+    ECONNABORTED = 103,
+    /// Connection reset by peer.
+    ECONNRESET = 104,
+    /// No buffer space available.
+    ENOBUFS = 105,
+    /// Transport endpoint is already connected.
+    EISCONN = 106,
+    /// Transport endpoint is not connected (FUSE server gone).
+    ENOTCONN = 107,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+    /// Operation now in progress.
+    EINPROGRESS = 115,
+    /// Stale file handle.
+    ESTALE = 116,
+}
+
+impl Errno {
+    /// Returns the numeric errno value (positive, as in `errno.h`).
+    pub const fn as_i32(self) -> i32 {
+        self as i32
+    }
+
+    /// Returns the symbolic name, e.g. `"ENOENT"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::ENXIO => "ENXIO",
+            Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOTTY => "ENOTTY",
+            Errno::ETXTBSY => "ETXTBSY",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ESPIPE => "ESPIPE",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::EPIPE => "EPIPE",
+            Errno::EDOM => "EDOM",
+            Errno::ERANGE => "ERANGE",
+            Errno::EDEADLK => "EDEADLK",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOLCK => "ENOLCK",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::EPROTO => "EPROTO",
+            Errno::EOVERFLOW => "EOVERFLOW",
+            Errno::EBADFD => "EBADFD",
+            Errno::ENOTSOCK => "ENOTSOCK",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            Errno::ECONNABORTED => "ECONNABORTED",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::ENOBUFS => "ENOBUFS",
+            Errno::EISCONN => "EISCONN",
+            Errno::ENOTCONN => "ENOTCONN",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::EINPROGRESS => "EINPROGRESS",
+            Errno::ESTALE => "ESTALE",
+        }
+    }
+
+    /// Returns a short human-readable description, as `strerror(3)` would.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Errno::EPERM => "Operation not permitted",
+            Errno::ENOENT => "No such file or directory",
+            Errno::ESRCH => "No such process",
+            Errno::EINTR => "Interrupted system call",
+            Errno::EIO => "Input/output error",
+            Errno::ENXIO => "No such device or address",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::EAGAIN => "Resource temporarily unavailable",
+            Errno::ENOMEM => "Cannot allocate memory",
+            Errno::EACCES => "Permission denied",
+            Errno::EFAULT => "Bad address",
+            Errno::EBUSY => "Device or resource busy",
+            Errno::EEXIST => "File exists",
+            Errno::EXDEV => "Invalid cross-device link",
+            Errno::ENODEV => "No such device",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::EINVAL => "Invalid argument",
+            Errno::ENFILE => "Too many open files in system",
+            Errno::EMFILE => "Too many open files",
+            Errno::ENOTTY => "Inappropriate ioctl for device",
+            Errno::ETXTBSY => "Text file busy",
+            Errno::EFBIG => "File too large",
+            Errno::ENOSPC => "No space left on device",
+            Errno::ESPIPE => "Illegal seek",
+            Errno::EROFS => "Read-only file system",
+            Errno::EMLINK => "Too many links",
+            Errno::EPIPE => "Broken pipe",
+            Errno::EDOM => "Numerical argument out of domain",
+            Errno::ERANGE => "Numerical result out of range",
+            Errno::EDEADLK => "Resource deadlock avoided",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::ENOLCK => "No locks available",
+            Errno::ENOSYS => "Function not implemented",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ELOOP => "Too many levels of symbolic links",
+            Errno::ENODATA => "No data available",
+            Errno::EPROTO => "Protocol error",
+            Errno::EOVERFLOW => "Value too large for defined data type",
+            Errno::EBADFD => "File descriptor in bad state",
+            Errno::ENOTSOCK => "Socket operation on non-socket",
+            Errno::EOPNOTSUPP => "Operation not supported",
+            Errno::EADDRINUSE => "Address already in use",
+            Errno::EADDRNOTAVAIL => "Cannot assign requested address",
+            Errno::ECONNABORTED => "Software caused connection abort",
+            Errno::ECONNRESET => "Connection reset by peer",
+            Errno::ENOBUFS => "No buffer space available",
+            Errno::EISCONN => "Transport endpoint is already connected",
+            Errno::ENOTCONN => "Transport endpoint is not connected",
+            Errno::ECONNREFUSED => "Connection refused",
+            Errno::EINPROGRESS => "Operation now in progress",
+            Errno::ESTALE => "Stale file handle",
+        }
+    }
+
+    /// Looks an errno up by its numeric value.
+    pub fn from_i32(v: i32) -> Option<Errno> {
+        ALL.iter().copied().find(|e| e.as_i32() == v)
+    }
+}
+
+/// Every defined errno, in ascending numeric order.
+pub const ALL: &[Errno] = &[
+    Errno::EPERM,
+    Errno::ENOENT,
+    Errno::ESRCH,
+    Errno::EINTR,
+    Errno::EIO,
+    Errno::ENXIO,
+    Errno::EBADF,
+    Errno::EAGAIN,
+    Errno::ENOMEM,
+    Errno::EACCES,
+    Errno::EFAULT,
+    Errno::EBUSY,
+    Errno::EEXIST,
+    Errno::EXDEV,
+    Errno::ENODEV,
+    Errno::ENOTDIR,
+    Errno::EISDIR,
+    Errno::EINVAL,
+    Errno::ENFILE,
+    Errno::EMFILE,
+    Errno::ENOTTY,
+    Errno::ETXTBSY,
+    Errno::EFBIG,
+    Errno::ENOSPC,
+    Errno::ESPIPE,
+    Errno::EROFS,
+    Errno::EMLINK,
+    Errno::EPIPE,
+    Errno::EDOM,
+    Errno::ERANGE,
+    Errno::EDEADLK,
+    Errno::ENAMETOOLONG,
+    Errno::ENOLCK,
+    Errno::ENOSYS,
+    Errno::ENOTEMPTY,
+    Errno::ELOOP,
+    Errno::ENODATA,
+    Errno::EPROTO,
+    Errno::EOVERFLOW,
+    Errno::EBADFD,
+    Errno::ENOTSOCK,
+    Errno::EOPNOTSUPP,
+    Errno::EADDRINUSE,
+    Errno::EADDRNOTAVAIL,
+    Errno::ECONNABORTED,
+    Errno::ECONNRESET,
+    Errno::ENOBUFS,
+    Errno::EISCONN,
+    Errno::ENOTCONN,
+    Errno::ECONNREFUSED,
+    Errno::EINPROGRESS,
+    Errno::ESTALE,
+];
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.description())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_values_match_linux() {
+        assert_eq!(Errno::EPERM.as_i32(), 1);
+        assert_eq!(Errno::ENOENT.as_i32(), 2);
+        assert_eq!(Errno::EEXIST.as_i32(), 17);
+        assert_eq!(Errno::EINVAL.as_i32(), 22);
+        assert_eq!(Errno::ENOTEMPTY.as_i32(), 39);
+        assert_eq!(Errno::ELOOP.as_i32(), 40);
+        assert_eq!(Errno::ENOTCONN.as_i32(), 107);
+    }
+
+    #[test]
+    fn roundtrip_from_i32() {
+        for &e in ALL {
+            assert_eq!(Errno::from_i32(e.as_i32()), Some(e));
+        }
+        assert_eq!(Errno::from_i32(0), None);
+        assert_eq!(Errno::from_i32(-1), None);
+        assert_eq!(Errno::from_i32(9999), None);
+    }
+
+    #[test]
+    fn all_is_sorted_and_unique() {
+        let mut prev = 0;
+        for &e in ALL {
+            assert!(e.as_i32() > prev, "{e} out of order");
+            prev = e.as_i32();
+        }
+    }
+
+    #[test]
+    fn display_includes_name_and_description() {
+        let s = Errno::ENOENT.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("No such file or directory"));
+    }
+}

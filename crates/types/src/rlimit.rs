@@ -1,0 +1,164 @@
+//! Per-process resource limits.
+//!
+//! Only the limits the evaluation exercises are modelled. `RLIMIT_FSIZE`
+//! matters for the paper: CntrFS replays file operations in the FUSE server
+//! process, whose own `RLIMIT_FSIZE` is unset, so the *caller's* limit is not
+//! enforced — xfstests #228, one of the four documented failures (§5.1).
+
+use crate::errno::{Errno, SysResult};
+
+/// Kinds of resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RlimitKind {
+    /// Maximum file size a process may create (`RLIMIT_FSIZE`).
+    Fsize,
+    /// Maximum number of open file descriptors (`RLIMIT_NOFILE`).
+    Nofile,
+    /// Maximum number of processes (`RLIMIT_NPROC`).
+    Nproc,
+}
+
+/// A soft/hard limit pair. `u64::MAX` encodes `RLIM_INFINITY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rlimit {
+    /// Soft limit, enforced.
+    pub soft: u64,
+    /// Hard limit, ceiling for the soft limit.
+    pub hard: u64,
+}
+
+/// `RLIM_INFINITY`.
+pub const RLIM_INFINITY: u64 = u64::MAX;
+
+impl Rlimit {
+    /// An unlimited limit pair.
+    pub const INFINITY: Rlimit = Rlimit {
+        soft: RLIM_INFINITY,
+        hard: RLIM_INFINITY,
+    };
+
+    /// True if the soft limit is infinite.
+    pub const fn is_unlimited(self) -> bool {
+        self.soft == RLIM_INFINITY
+    }
+}
+
+/// The limits of one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RlimitSet {
+    fsize: Rlimit,
+    nofile: Rlimit,
+    nproc: Rlimit,
+}
+
+impl Default for RlimitSet {
+    fn default() -> RlimitSet {
+        RlimitSet {
+            fsize: Rlimit::INFINITY,
+            nofile: Rlimit {
+                soft: 1024,
+                hard: 1 << 20,
+            },
+            nproc: Rlimit {
+                soft: 1 << 16,
+                hard: 1 << 16,
+            },
+        }
+    }
+}
+
+impl RlimitSet {
+    /// Reads a limit (`getrlimit`).
+    pub fn get(&self, kind: RlimitKind) -> Rlimit {
+        match kind {
+            RlimitKind::Fsize => self.fsize,
+            RlimitKind::Nofile => self.nofile,
+            RlimitKind::Nproc => self.nproc,
+        }
+    }
+
+    /// Sets a limit (`setrlimit`): the soft limit may not exceed the hard
+    /// limit, and the hard limit may never be raised (privilege checks are
+    /// the kernel's job, not modelled here).
+    pub fn set(&mut self, kind: RlimitKind, new: Rlimit) -> SysResult<()> {
+        if new.soft > new.hard {
+            return Err(Errno::EINVAL);
+        }
+        let slot = match kind {
+            RlimitKind::Fsize => &mut self.fsize,
+            RlimitKind::Nofile => &mut self.nofile,
+            RlimitKind::Nproc => &mut self.nproc,
+        };
+        if new.hard > slot.hard {
+            return Err(Errno::EPERM);
+        }
+        *slot = new;
+        Ok(())
+    }
+
+    /// Checks whether a write extending a file to `new_size` violates
+    /// `RLIMIT_FSIZE`. Returns `EFBIG` if it does, as Linux would (after
+    /// also delivering `SIGXFSZ`, which the simulation folds into the error).
+    pub fn check_fsize(&self, new_size: u64) -> SysResult<()> {
+        if new_size > self.fsize.soft {
+            Err(Errno::EFBIG)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fsize_is_unlimited() {
+        let l = RlimitSet::default();
+        assert!(l.get(RlimitKind::Fsize).is_unlimited());
+        assert!(l.check_fsize(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn fsize_enforcement() {
+        let mut l = RlimitSet::default();
+        l.set(
+            RlimitKind::Fsize,
+            Rlimit {
+                soft: 4096,
+                hard: 8192,
+            },
+        )
+        .unwrap();
+        assert!(l.check_fsize(4096).is_ok());
+        assert_eq!(l.check_fsize(4097), Err(Errno::EFBIG));
+    }
+
+    #[test]
+    fn soft_may_not_exceed_hard() {
+        let mut l = RlimitSet::default();
+        let bad = Rlimit {
+            soft: 100,
+            hard: 50,
+        };
+        assert_eq!(l.set(RlimitKind::Fsize, bad), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn hard_limit_may_not_be_raised() {
+        let mut l = RlimitSet::default();
+        l.set(
+            RlimitKind::Nofile,
+            Rlimit {
+                soft: 10,
+                hard: 10,
+            },
+        )
+        .unwrap();
+        let raise = Rlimit {
+            soft: 10,
+            hard: 20,
+        };
+        assert_eq!(l.set(RlimitKind::Nofile, raise), Err(Errno::EPERM));
+    }
+}

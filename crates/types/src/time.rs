@@ -1,0 +1,134 @@
+//! Nanosecond-resolution timestamps for the simulated OS.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A point in simulated time, expressed as nanoseconds since simulation boot.
+///
+/// Used both for file timestamps (`st_atime` et al.) and for the virtual
+/// performance clock. The representation is a single `u64` of nanoseconds,
+/// which covers ~584 years of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timespec {
+    nanos: u64,
+}
+
+impl Timespec {
+    /// The simulation epoch.
+    pub const ZERO: Timespec = Timespec { nanos: 0 };
+
+    /// Creates a timestamp from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Timespec {
+        Timespec { nanos }
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(secs: u64) -> Timespec {
+        Timespec {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Creates a timestamp from microseconds.
+    pub const fn from_micros(micros: u64) -> Timespec {
+        Timespec {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Creates a timestamp from milliseconds.
+    pub const fn from_millis(millis: u64) -> Timespec {
+        Timespec {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Raw nanoseconds since the simulation epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole seconds part.
+    pub const fn secs(self) -> u64 {
+        self.nanos / 1_000_000_000
+    }
+
+    /// Sub-second nanoseconds part.
+    pub const fn subsec_nanos(self) -> u32 {
+        (self.nanos % 1_000_000_000) as u32
+    }
+
+    /// Fractional seconds as `f64` (for reporting only; never for logic).
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Saturating subtraction: returns zero if `other` is later.
+    pub const fn saturating_sub(self, other: Timespec) -> Timespec {
+        Timespec {
+            nanos: self.nanos.saturating_sub(other.nanos),
+        }
+    }
+
+    /// Checked addition of a duration in nanoseconds.
+    pub const fn saturating_add_nanos(self, nanos: u64) -> Timespec {
+        Timespec {
+            nanos: self.nanos.saturating_add(nanos),
+        }
+    }
+}
+
+impl Add for Timespec {
+    type Output = Timespec;
+
+    fn add(self, rhs: Timespec) -> Timespec {
+        Timespec {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl Sub for Timespec {
+    type Output = Timespec;
+
+    fn sub(self, rhs: Timespec) -> Timespec {
+        Timespec {
+            nanos: self.nanos - rhs.nanos,
+        }
+    }
+}
+
+impl fmt::Display for Timespec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:09}s", self.secs(), self.subsec_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Timespec::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Timespec::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Timespec::from_micros(7).as_nanos(), 7_000);
+        let t = Timespec::from_nanos(1_500_000_001);
+        assert_eq!(t.secs(), 1);
+        assert_eq!(t.subsec_nanos(), 500_000_001);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Timespec::from_secs(3);
+        let b = Timespec::from_secs(1);
+        assert_eq!((a + b).secs(), 4);
+        assert_eq!((a - b).secs(), 2);
+        assert_eq!(b.saturating_sub(a), Timespec::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Timespec::from_nanos(1_000_000_042).to_string(), "1.000000042s");
+    }
+}

@@ -1,0 +1,862 @@
+//! The 94 generic-group tests.
+//!
+//! Each test exercises one POSIX behaviour or a documented edge case, in the
+//! spirit of the xfstests generic group: "tests suites to ensure correct
+//! behavior of all filesystem related system calls and their edge cases"
+//! (paper §5.1). The four numbered tests from the paper (#228, #375, #391,
+//! #426) are implemented exactly as described and carry the expected-failure
+//! annotation for CntrFS.
+
+use crate::harness::{ensure, expect_errno, TestCase};
+use cntr_fs::{FallocateMode, XattrFlags};
+use cntr_kernel::vfs::Whence;
+use cntr_types::{Errno, FileType, Mode, OpenFlags, RenameFlags, Timespec};
+
+macro_rules! t {
+    ($id:expr, $name:expr, $f:expr) => {
+        TestCase {
+            id: $id,
+            name: $name,
+            run: $f,
+            expected_cntrfs_failure: None,
+        }
+    };
+    ($id:expr, $name:expr, $f:expr, expected: $why:expr) => {
+        TestCase {
+            id: $id,
+            name: $name,
+            run: $f,
+            expected_cntrfs_failure: Some($why),
+        }
+    };
+}
+
+/// Returns the full generic-group suite (94 tests).
+pub fn all_tests() -> Vec<TestCase> {
+    let mut v = vec![
+        // --- basic file creation / io -----------------------------------
+        t!(1, "create and read back", |e| {
+            e.write_file("f", b"hello xfstests")?;
+            ensure(e.read_file("f")? == b"hello xfstests", "content mismatch")
+        }),
+        t!(2, "empty file has size 0", |e| {
+            e.write_file("f", b"")?;
+            ensure(e.stat("f")?.size == 0, "size not 0")
+        }),
+        t!(3, "overwrite in middle", |e| {
+            e.write_file("f", b"aaaaaaaaaa")?;
+            let fd = e.open("f", OpenFlags::RDWR)?;
+            e.pwrite(fd, 3, b"bbb")?;
+            e.close(fd)?;
+            ensure(e.read_file("f")? == b"aaabbbaaaa", "overwrite wrong")
+        }),
+        t!(4, "read past eof returns 0", |e| {
+            e.write_file("f", b"xyz")?;
+            let fd = e.open("f", OpenFlags::RDONLY)?;
+            let mut buf = [0u8; 8];
+            let n = e.pread(fd, 100, &mut buf)?;
+            e.close(fd)?;
+            ensure(n == 0, "read past EOF returned data")
+        }),
+        t!(5, "short read at eof", |e| {
+            e.write_file("f", b"0123456789")?;
+            let fd = e.open("f", OpenFlags::RDONLY)?;
+            let mut buf = [0u8; 8];
+            let n = e.pread(fd, 6, &mut buf)?;
+            e.close(fd)?;
+            ensure(n == 4 && &buf[..4] == b"6789", "short read wrong")
+        }),
+        t!(6, "o_excl fails on existing", |e| {
+            e.write_file("f", b"x")?;
+            e.open_expect_err("f", OpenFlags::create_new(), Errno::EEXIST)
+        }),
+        t!(7, "o_trunc empties file", |e| {
+            e.write_file("f", b"full of data")?;
+            let fd = e.open("f", OpenFlags::WRONLY.with(OpenFlags::TRUNC))?;
+            e.close(fd)?;
+            ensure(e.stat("f")?.size == 0, "O_TRUNC did not empty")
+        }),
+        t!(8, "o_append writes at eof", |e| {
+            e.write_file("f", b"base")?;
+            let fd = e.open("f", OpenFlags::append())?;
+            e.pwrite(fd, 0, b"-tail")?;
+            e.close(fd)?;
+            ensure(e.read_file("f")? == b"base-tail", "append wrong")
+        }),
+        t!(9, "open missing without o_creat", |e| {
+            e.open_expect_err("nope", OpenFlags::RDONLY, Errno::ENOENT)
+        }),
+        t!(10, "write through ro fd fails", |e| {
+            e.write_file("f", b"x")?;
+            let fd = e.open("f", OpenFlags::RDONLY)?;
+            let r = e.pwrite(fd, 0, b"y");
+            e.close(fd)?;
+            ensure(r.is_err(), "write on O_RDONLY fd succeeded")
+        }),
+        t!(11, "read through wo fd fails", |e| {
+            e.write_file("f", b"x")?;
+            let fd = e.open("f", OpenFlags::WRONLY)?;
+            let mut b = [0u8; 1];
+            let r = e.pread(fd, 0, &mut b);
+            e.close(fd)?;
+            ensure(r.is_err(), "read on O_WRONLY fd succeeded")
+        }),
+        t!(12, "many small appends accumulate", |e| {
+            let fd = e.open("log", OpenFlags::append())?;
+            for _ in 0..100 {
+                e.pwrite(fd, 0, b"line\n")?;
+            }
+            e.close(fd)?;
+            ensure(e.stat("log")?.size == 500, "append accumulation wrong")
+        }),
+        t!(13, "lseek set/cur/end", |e| {
+            e.write_file("f", b"0123456789")?;
+            let fd = e.open("f", OpenFlags::RDONLY)?;
+            ensure(e.lseek(fd, 4, Whence::Set)? == 4, "SEEK_SET")?;
+            ensure(e.lseek(fd, 2, Whence::Cur)? == 6, "SEEK_CUR")?;
+            ensure(e.lseek(fd, -1, Whence::End)? == 9, "SEEK_END")?;
+            let r = e.lseek(fd, -100, Whence::Cur);
+            e.close(fd)?;
+            ensure(r.is_err(), "negative seek allowed")
+        }),
+        t!(14, "seek past eof then write leaves hole", |e| {
+            e.write_file("f", b"x")?;
+            let fd = e.open("f", OpenFlags::RDWR)?;
+            e.pwrite(fd, 10_000, b"end")?;
+            let mut buf = [1u8; 16];
+            let n = e.pread(fd, 5_000, &mut buf)?;
+            e.close(fd)?;
+            ensure(n == 16 && buf.iter().all(|&b| b == 0), "hole not zero")?;
+            ensure(e.stat("f")?.size == 10_003, "size after sparse write")
+        }),
+        t!(15, "fsync persists data", |e| {
+            let fd = e.open("f", OpenFlags::create())?;
+            e.pwrite(fd, 0, b"durable")?;
+            e.fsync(fd)?;
+            e.close(fd)?;
+            ensure(e.read_file("f")? == b"durable", "fsync lost data")
+        }),
+        // --- truncate ----------------------------------------------------
+        t!(16, "truncate shrinks", |e| {
+            e.write_file("f", b"0123456789")?;
+            e.truncate("f", 4)?;
+            ensure(e.read_file("f")? == b"0123", "shrink wrong")
+        }),
+        t!(17, "truncate extends with zeros", |e| {
+            e.write_file("f", b"ab")?;
+            e.truncate("f", 6)?;
+            ensure(e.read_file("f")? == b"ab\0\0\0\0", "extend wrong")
+        }),
+        t!(18, "truncate then rewrite reuses", |e| {
+            e.write_file("f", &[7u8; 8192])?;
+            e.truncate("f", 0)?;
+            e.write_file("f2", b"other")?;
+            let fd = e.open("f", OpenFlags::WRONLY)?;
+            e.pwrite(fd, 0, b"new")?;
+            e.close(fd)?;
+            ensure(e.read_file("f")? == b"new", "rewrite after truncate")
+        }),
+        t!(19, "truncate directory fails", |e| {
+            e.mkdir("d")?;
+            match e.truncate("d", 0) {
+                Err(msg) if msg.contains("EISDIR") => Ok(()),
+                other => Err(format!("expected EISDIR, got {other:?}")),
+            }
+        }),
+        t!(20, "zero-length truncate drops blocks", |e| {
+            e.write_file("f", &[1u8; 64 * 1024])?;
+            let fd = e.open("f", OpenFlags::RDWR)?;
+            e.fsync(fd)?;
+            e.close(fd)?;
+            let before = e.stat("f")?.blocks;
+            e.truncate("f", 0)?;
+            let after = e.stat("f")?.blocks;
+            ensure(before > 0 && after == 0, "blocks not released")
+        }),
+        // --- directories --------------------------------------------------
+        t!(21, "mkdir rmdir roundtrip", |e| {
+            e.mkdir("d")?;
+            ensure(e.stat("d")?.is_dir(), "not a dir")?;
+            e.rmdir("d")?;
+            expect_errno(e.try_stat("d"), Errno::ENOENT, "stat removed dir")
+        }),
+        t!(22, "rmdir non-empty fails", |e| {
+            e.mkdir("d")?;
+            e.write_file("d/x", b"1")?;
+            match e.rmdir("d") {
+                Err(msg) if msg.contains("ENOTEMPTY") => Ok(()),
+                other => Err(format!("expected ENOTEMPTY, got {other:?}")),
+            }
+        }),
+        t!(23, "mkdir existing fails", |e| {
+            e.mkdir("d")?;
+            match e.mkdir("d") {
+                Err(msg) if msg.contains("EEXIST") => Ok(()),
+                other => Err(format!("expected EEXIST, got {other:?}")),
+            }
+        }),
+        t!(24, "readdir lists sorted entries", |e| {
+            for n in ["zz", "aa", "mm"] {
+                e.write_file(n, b"")?;
+            }
+            ensure(
+                e.readdir_names("")? == vec!["aa", "mm", "zz"],
+                "listing wrong",
+            )
+        }),
+        t!(25, "nested tree create and walk", |e| {
+            e.mkdir("a")?;
+            e.mkdir("a/b")?;
+            e.mkdir("a/b/c")?;
+            e.write_file("a/b/c/leaf", b"deep")?;
+            ensure(e.read_file("a/b/c/leaf")? == b"deep", "deep read")?;
+            ensure(e.stat("a/b/c/../c/leaf")?.size == 4, "dotdot walk")
+        }),
+        t!(26, "unlink in dir updates listing", |e| {
+            e.mkdir("d")?;
+            e.write_file("d/x", b"1")?;
+            e.write_file("d/y", b"2")?;
+            e.unlink("d/x")?;
+            ensure(e.readdir_names("d")? == vec!["y"], "listing after unlink")
+        }),
+        t!(27, "dir nlink counts subdirs", |e| {
+            e.mkdir("d")?;
+            let base = e.stat("d")?.nlink;
+            e.mkdir("d/s1")?;
+            e.mkdir("d/s2")?;
+            ensure(e.stat("d")?.nlink == base + 2, "nlink not incremented")?;
+            e.rmdir("d/s1")?;
+            ensure(e.stat("d")?.nlink == base + 1, "nlink not decremented")
+        }),
+        t!(28, "enotdir on file path component", |e| {
+            e.write_file("f", b"")?;
+            expect_errno(e.try_stat("f/below"), Errno::ENOTDIR, "walk through file")
+        }),
+        t!(29, "name too long", |e| {
+            let long = "x".repeat(256);
+            match e.mkdir(&long) {
+                Err(msg) if msg.contains("ENAMETOOLONG") => Ok(()),
+                other => Err(format!("expected ENAMETOOLONG, got {other:?}")),
+            }
+        }),
+        t!(30, "255-char name works", |e| {
+            let name = "y".repeat(255);
+            e.write_file(&name, b"ok")?;
+            ensure(e.stat(&name)?.size == 2, "max-length name")
+        }),
+        // --- hard links ----------------------------------------------------
+        t!(31, "link shares inode", |e| {
+            e.write_file("a", b"shared")?;
+            e.link("a", "b")?;
+            let (sa, sb) = (e.stat("a")?, e.stat("b")?);
+            ensure(sa.ino == sb.ino && sb.nlink == 2, "link identity")
+        }),
+        t!(32, "write via one name visible via other", |e| {
+            e.write_file("a", b"old")?;
+            e.link("a", "b")?;
+            let fd = e.open("b", OpenFlags::WRONLY)?;
+            e.pwrite(fd, 0, b"new")?;
+            e.close(fd)?;
+            ensure(e.read_file("a")? == b"new", "alias content")
+        }),
+        t!(33, "unlink one name keeps other", |e| {
+            e.write_file("a", b"keep")?;
+            e.link("a", "b")?;
+            e.unlink("a")?;
+            ensure(e.read_file("b")? == b"keep", "survivor content")?;
+            ensure(e.stat("b")?.nlink == 1, "nlink after unlink")
+        }),
+        t!(34, "link to dir rejected", |e| {
+            e.mkdir("d")?;
+            match e.link("d", "d2") {
+                Err(msg) if msg.contains("EPERM") => Ok(()),
+                other => Err(format!("expected EPERM, got {other:?}")),
+            }
+        }),
+        t!(35, "link onto existing name fails", |e| {
+            e.write_file("a", b"")?;
+            e.write_file("b", b"")?;
+            match e.link("a", "b") {
+                Err(msg) if msg.contains("EEXIST") => Ok(()),
+                other => Err(format!("expected EEXIST, got {other:?}")),
+            }
+        }),
+        t!(36, "unlinked open file readable until close", |e| {
+            e.write_file("f", b"orphan")?;
+            let fd = e.open("f", OpenFlags::RDONLY)?;
+            e.unlink("f")?;
+            let mut buf = [0u8; 6];
+            let n = e.pread(fd, 0, &mut buf)?;
+            e.close(fd)?;
+            ensure(n == 6 && &buf == b"orphan", "orphan read")?;
+            expect_errno(e.try_stat("f"), Errno::ENOENT, "name gone")
+        }),
+        // --- symlinks ------------------------------------------------------
+        t!(37, "symlink readlink", |e| {
+            e.symlink("target/path", "ln")?;
+            ensure(e.readlink("ln")? == "target/path", "readlink")
+        }),
+        t!(38, "stat follows symlink lstat does not", |e| {
+            e.write_file("real", b"body")?;
+            e.symlink("real", "ln")?;
+            ensure(e.stat("ln")?.size == 4, "stat follows")?;
+            ensure(e.lstat("ln")?.is_symlink(), "lstat type")
+        }),
+        t!(39, "dangling symlink enoent on follow", |e| {
+            e.symlink("missing", "ln")?;
+            expect_errno(e.try_stat("ln"), Errno::ENOENT, "dangling follow")?;
+            ensure(e.lstat("ln")?.is_symlink(), "lstat still works")
+        }),
+        t!(40, "symlink loop eloop", |e| {
+            e.symlink("l2", "l1")?;
+            e.symlink("l1", "l2")?;
+            expect_errno(e.try_stat("l1"), Errno::ELOOP, "loop")
+        }),
+        t!(41, "symlink chain resolves", |e| {
+            e.write_file("real", b"x")?;
+            e.symlink("real", "l1")?;
+            e.symlink("l1", "l2")?;
+            e.symlink("l2", "l3")?;
+            ensure(e.stat("l3")?.size == 1, "chain")
+        }),
+        t!(42, "absolute symlink resolves from root", |e| {
+            e.write_file("real", b"abs")?;
+            let abs = e.p("real");
+            e.symlink(&abs, "ln")?;
+            ensure(e.stat("ln")?.size == 3, "absolute target")
+        }),
+        t!(43, "open nofollow on symlink fails", |e| {
+            e.write_file("real", b"x")?;
+            e.symlink("real", "ln")?;
+            e.open_expect_err(
+                "ln",
+                OpenFlags::RDONLY.with(OpenFlags::NOFOLLOW),
+                Errno::ELOOP,
+            )
+        }),
+        t!(44, "unlink symlink keeps target", |e| {
+            e.write_file("real", b"stay")?;
+            e.symlink("real", "ln")?;
+            e.unlink("ln")?;
+            ensure(e.read_file("real")? == b"stay", "target survived")
+        }),
+        t!(45, "symlink through directory components", |e| {
+            e.mkdir("d")?;
+            e.write_file("d/f", b"via-dir")?;
+            e.symlink("d", "dl")?;
+            ensure(e.read_file("dl/f")? == b"via-dir", "dir symlink")
+        }),
+        // --- rename --------------------------------------------------------
+        t!(46, "rename basic", |e| {
+            e.write_file("a", b"move me")?;
+            e.rename("a", "b")?;
+            expect_errno(e.try_stat("a"), Errno::ENOENT, "source gone")?;
+            ensure(e.read_file("b")? == b"move me", "dest content")
+        }),
+        t!(47, "rename replaces file", |e| {
+            e.write_file("a", b"new")?;
+            e.write_file("b", b"old-longer")?;
+            e.rename("a", "b")?;
+            ensure(e.read_file("b")? == b"new", "replacement")
+        }),
+        t!(48, "rename across directories", |e| {
+            e.mkdir("d1")?;
+            e.mkdir("d2")?;
+            e.write_file("d1/f", b"travel")?;
+            e.rename("d1/f", "d2/f")?;
+            ensure(e.read_file("d2/f")? == b"travel", "moved content")?;
+            ensure(e.readdir_names("d1")?.is_empty(), "source dir empty")
+        }),
+        t!(49, "rename dir over empty dir", |e| {
+            e.mkdir("a")?;
+            e.write_file("a/x", b"1")?;
+            e.mkdir("b")?;
+            e.rename("a", "b")?;
+            ensure(e.read_file("b/x")? == b"1", "dir replaced")
+        }),
+        t!(50, "rename dir over non-empty fails", |e| {
+            e.mkdir("a")?;
+            e.mkdir("b")?;
+            e.write_file("b/x", b"1")?;
+            match e.rename("a", "b") {
+                Err(msg) if msg.contains("ENOTEMPTY") => Ok(()),
+                other => Err(format!("expected ENOTEMPTY, got {other:?}")),
+            }
+        }),
+        t!(51, "rename file over dir fails", |e| {
+            e.write_file("f", b"")?;
+            e.mkdir("d")?;
+            match e.rename("f", "d") {
+                Err(msg) if msg.contains("EISDIR") => Ok(()),
+                other => Err(format!("expected EISDIR, got {other:?}")),
+            }
+        }),
+        t!(52, "rename dir over file fails", |e| {
+            e.mkdir("d")?;
+            e.write_file("f", b"")?;
+            match e.rename("d", "f") {
+                Err(msg) if msg.contains("ENOTDIR") => Ok(()),
+                other => Err(format!("expected ENOTDIR, got {other:?}")),
+            }
+        }),
+        t!(53, "rename dir into own subtree fails", |e| {
+            e.mkdir("d")?;
+            e.mkdir("d/sub")?;
+            match e.rename("d", "d/sub/evil") {
+                Err(msg) if msg.contains("EINVAL") => Ok(()),
+                other => Err(format!("expected EINVAL, got {other:?}")),
+            }
+        }),
+        t!(54, "rename noreplace", |e| {
+            e.write_file("a", b"")?;
+            e.write_file("b", b"")?;
+            expect_errno(
+                e.rename_flags("a", "b", RenameFlags::NOREPLACE),
+                Errno::EEXIST,
+                "RENAME_NOREPLACE",
+            )
+        }),
+        t!(55, "rename exchange swaps", |e| {
+            e.write_file("a", b"AAA")?;
+            e.write_file("b", b"BB")?;
+            e.rename_flags("a", "b", RenameFlags::EXCHANGE)
+                .map_err(|err| format!("exchange: {err}"))?;
+            ensure(e.read_file("a")? == b"BB", "a has b's content")?;
+            ensure(e.read_file("b")? == b"AAA", "b has a's content")
+        }),
+        t!(56, "rename onto self is noop", |e| {
+            e.write_file("a", b"still here")?;
+            e.rename("a", "a")?;
+            ensure(e.read_file("a")? == b"still here", "self-rename")
+        }),
+        t!(57, "rename hardlink alias removes source name", |e| {
+            e.write_file("a", b"x")?;
+            e.link("a", "b")?;
+            e.rename("a", "b")?;
+            ensure(e.read_file("b")? == b"x", "alias content")?;
+            expect_errno(e.try_stat("a"), Errno::ENOENT, "source name gone")
+        }),
+        t!(58, "rename missing source", |e| {
+            match e.rename("ghost", "b") {
+                Err(msg) if msg.contains("ENOENT") => Ok(()),
+                other => Err(format!("expected ENOENT, got {other:?}")),
+            }
+        }),
+        // --- attributes / chmod / chown / times ----------------------------
+        t!(59, "chmod changes permission bits", |e| {
+            e.write_file("f", b"")?;
+            e.chmod("f", Mode::new(0o640))?;
+            ensure(e.stat("f")?.mode.bits() == 0o640, "mode bits")
+        }),
+        t!(60, "chown changes ownership", |e| {
+            e.write_file("f", b"")?;
+            e.chown("f", 1000, 2000)?;
+            let st = e.stat("f")?;
+            ensure(st.uid.raw() == 1000 && st.gid.raw() == 2000, "owner")
+        }),
+        t!(61, "chown by unprivileged user fails", |e| {
+            e.write_file("f", b"")?;
+            let r = e.with_user(1000, 1000, |pid| {
+                e.kernel.chown(
+                    pid,
+                    &e.p("f"),
+                    cntr_types::Uid(0),
+                    cntr_types::Gid(0),
+                )
+            })?;
+            expect_errno(r, Errno::EPERM, "unprivileged chown")
+        }),
+        t!(62, "suid sgid stripped on write", |e| {
+            e.write_file("f", b"")?;
+            e.chmod("f", Mode::new(0o6755))?;
+            let fd = e.open("f", OpenFlags::WRONLY)?;
+            e.pwrite(fd, 0, b"taint")?;
+            e.close(fd)?;
+            let m = e.stat("f")?.mode;
+            ensure(!m.is_setuid() && !m.is_setgid(), "suid/sgid kept on write")
+        }),
+        t!(63, "mtime advances on write", |e| {
+            e.write_file("f", b"a")?;
+            let t0 = e.stat("f")?.mtime;
+            e.kernel.clock().advance(1_000_000);
+            let fd = e.open("f", OpenFlags::WRONLY)?;
+            e.pwrite(fd, 0, b"b")?;
+            e.close(fd)?;
+            ensure(e.stat("f")?.mtime > t0, "mtime static")
+        }),
+        t!(64, "utimens sets explicit times", |e| {
+            e.write_file("f", b"")?;
+            e.utimens(
+                "f",
+                Some(Timespec::from_secs(100)),
+                Some(Timespec::from_secs(200)),
+            )?;
+            let st = e.stat("f")?;
+            ensure(
+                st.atime == Timespec::from_secs(100) && st.mtime == Timespec::from_secs(200),
+                "times not applied",
+            )
+        }),
+        t!(65, "ctime advances on chmod", |e| {
+            e.write_file("f", b"")?;
+            let t0 = e.stat("f")?.ctime;
+            e.kernel.clock().advance(1_000_000);
+            e.chmod("f", Mode::new(0o600))?;
+            ensure(e.stat("f")?.ctime > t0, "ctime static")
+        }),
+        t!(66, "permission denied for other user", |e| {
+            e.write_file("secret", b"classified")?;
+            e.chmod("secret", Mode::new(0o600))?;
+            let r = e.with_user(1000, 1000, |pid| {
+                e.kernel
+                    .open(pid, &e.p("secret"), OpenFlags::RDONLY, Mode::RW_R__R__)
+            })?;
+            expect_errno(r, Errno::EACCES, "other-user open")
+        }),
+        t!(67, "group read allowed", |e| {
+            e.write_file("shared", b"team data")?;
+            e.chmod("shared", Mode::new(0o640))?;
+            e.chown("shared", 0, 3000)?;
+            let r = e.with_user(1000, 3000, |pid| {
+                e.kernel
+                    .open(pid, &e.p("shared"), OpenFlags::RDONLY, Mode::RW_R__R__)
+            })?;
+            ensure(r.is_ok(), "group member denied")
+        }),
+        t!(68, "setgid dir propagates group", |e| {
+            e.mkdir("shared")?;
+            e.chown("shared", 0, 4000)?;
+            e.chmod("shared", Mode::new(0o2775))?;
+            e.write_file("shared/f", b"")?;
+            ensure(e.stat("shared/f")?.gid.raw() == 4000, "group inherited")
+        }),
+        // --- xattrs --------------------------------------------------------
+        t!(69, "xattr set get roundtrip", |e| {
+            e.write_file("f", b"")?;
+            e.setxattr("f", "user.comment", b"hello", XattrFlags::Any)
+                .map_err(|err| format!("setxattr: {err}"))?;
+            let v = e
+                .getxattr("f", "user.comment")
+                .map_err(|err| format!("getxattr: {err}"))?;
+            ensure(v == b"hello", "xattr value")
+        }),
+        t!(70, "xattr missing is enodata", |e| {
+            e.write_file("f", b"")?;
+            expect_errno(e.getxattr("f", "user.none"), Errno::ENODATA, "missing")
+        }),
+        t!(71, "xattr create/replace flags", |e| {
+            e.write_file("f", b"")?;
+            e.setxattr("f", "user.k", b"1", XattrFlags::Create)
+                .map_err(|err| format!("create: {err}"))?;
+            expect_errno(
+                e.setxattr("f", "user.k", b"2", XattrFlags::Create),
+                Errno::EEXIST,
+                "XATTR_CREATE twice",
+            )?;
+            e.setxattr("f", "user.k", b"2", XattrFlags::Replace)
+                .map_err(|err| format!("replace: {err}"))?;
+            expect_errno(
+                e.setxattr("f", "user.missing", b"", XattrFlags::Replace),
+                Errno::ENODATA,
+                "XATTR_REPLACE missing",
+            )
+        }),
+        t!(72, "listxattr sorted", |e| {
+            e.write_file("f", b"")?;
+            e.setxattr("f", "user.b", b"", XattrFlags::Any).ok();
+            e.setxattr("f", "user.a", b"", XattrFlags::Any).ok();
+            e.setxattr("f", "security.capability", b"caps", XattrFlags::Any)
+                .ok();
+            let names = e.listxattr("f")?;
+            ensure(
+                names == vec!["security.capability", "user.a", "user.b"],
+                "xattr list",
+            )
+        }),
+        t!(73, "removexattr", |e| {
+            e.write_file("f", b"")?;
+            e.setxattr("f", "user.gone", b"x", XattrFlags::Any).ok();
+            e.removexattr("f", "user.gone")
+                .map_err(|err| format!("removexattr: {err}"))?;
+            expect_errno(e.getxattr("f", "user.gone"), Errno::ENODATA, "removed")?;
+            expect_errno(
+                e.removexattr("f", "user.gone"),
+                Errno::ENODATA,
+                "double remove",
+            )
+        }),
+        t!(74, "xattr bad namespace rejected", |e| {
+            e.write_file("f", b"")?;
+            expect_errno(
+                e.setxattr("f", "invalid.ns", b"", XattrFlags::Any),
+                Errno::EOPNOTSUPP,
+                "bad namespace",
+            )
+        }),
+        t!(75, "xattrs on directories", |e| {
+            e.mkdir("d")?;
+            e.setxattr("d", "user.dirattr", b"on-dir", XattrFlags::Any)
+                .map_err(|err| format!("setxattr dir: {err}"))?;
+            let v = e
+                .getxattr("d", "user.dirattr")
+                .map_err(|err| format!("getxattr dir: {err}"))?;
+            ensure(v == b"on-dir", "dir xattr")
+        }),
+        // --- fallocate / holes ---------------------------------------------
+        t!(76, "fallocate extends size", |e| {
+            let fd = e.open("f", OpenFlags::create())?;
+            e.fallocate(fd, 0, 8192, FallocateMode::Allocate)
+                .map_err(|err| format!("fallocate: {err}"))?;
+            e.close(fd)?;
+            ensure(e.stat("f")?.size == 8192, "fallocate size")
+        }),
+        t!(77, "fallocate keep_size", |e| {
+            e.write_file("f", b"tiny")?;
+            let fd = e.open("f", OpenFlags::RDWR)?;
+            e.fallocate(fd, 0, 8192, FallocateMode::KeepSize)
+                .map_err(|err| format!("fallocate: {err}"))?;
+            e.close(fd)?;
+            ensure(e.stat("f")?.size == 4, "size changed")
+        }),
+        t!(78, "punch hole zeroes range", |e| {
+            e.write_file("f", &[0xAB; 16 * 1024])?;
+            let fd = e.open("f", OpenFlags::RDWR)?;
+            e.fallocate(fd, 4096, 8192, FallocateMode::PunchHole)
+                .map_err(|err| format!("punch: {err}"))?;
+            let mut buf = [1u8; 8192];
+            e.pread(fd, 4096, &mut buf)?;
+            e.close(fd)?;
+            ensure(buf.iter().all(|&b| b == 0), "hole not zeroed")?;
+            ensure(e.stat("f")?.size == 16 * 1024, "size changed by punch")
+        }),
+        t!(79, "fallocate zero length is einval", |e| {
+            let fd = e.open("f", OpenFlags::create())?;
+            let r = e.fallocate(fd, 0, 0, FallocateMode::Allocate);
+            e.close(fd)?;
+            expect_errno(r, Errno::EINVAL, "zero-length fallocate")
+        }),
+        // --- statfs / special nodes -----------------------------------------
+        t!(80, "statfs reports capacity", |e| {
+            let sf = e
+                .kernel
+                .statfs(e.pid, &e.p(""))
+                .map_err(|err| format!("statfs: {err}"))?;
+            ensure(sf.blocks > 0 && sf.bsize > 0, "statfs empty")
+        }),
+        t!(81, "fifo node create and stat", |e| {
+            e.mknod("pipe", FileType::Fifo, 0)?;
+            ensure(e.lstat("pipe")?.ftype == FileType::Fifo, "fifo type")
+        }),
+        t!(82, "socket node create and stat", |e| {
+            e.mknod("sock", FileType::Socket, 0)?;
+            ensure(e.lstat("sock")?.ftype == FileType::Socket, "socket type")
+        }),
+        t!(83, "deep path resolution (64 levels)", |e| {
+            let mut path = String::new();
+            for i in 0..64 {
+                path = if path.is_empty() {
+                    format!("d{i}")
+                } else {
+                    format!("{path}/d{i}")
+                };
+                e.mkdir(&path)?;
+            }
+            e.write_file(&format!("{path}/leaf"), b"deep")?;
+            ensure(e.stat(&format!("{path}/leaf"))?.size == 4, "deep leaf")
+        }),
+        t!(84, "many files in one directory", |e| {
+            for i in 0..200 {
+                e.write_file(&format!("f{i:03}"), &[i as u8])?;
+            }
+            ensure(e.readdir_names("")?.len() == 200, "entry count")?;
+            ensure(e.read_file("f123")? == [123u8], "spot check")
+        }),
+        t!(85, "interleaved create unlink stress", |e| {
+            for round in 0..20 {
+                for i in 0..10 {
+                    e.write_file(&format!("r{round}-f{i}"), b"x")?;
+                }
+                for i in 0..10 {
+                    if i % 2 == 0 {
+                        e.unlink(&format!("r{round}-f{i}"))?;
+                    }
+                }
+            }
+            ensure(e.readdir_names("")?.len() == 100, "survivor count")
+        }),
+        t!(86, "sparse file block accounting", |e| {
+            let fd = e.open("sparse", OpenFlags::create())?;
+            e.pwrite(fd, 10 << 20, b"end")?;
+            e.close(fd)?;
+            let st = e.stat("sparse")?;
+            ensure(st.size > 10 << 20, "logical size")?;
+            ensure(st.blocks < 1000, "sparse file over-allocated")
+        }),
+        t!(87, "rewrite same page many times", |e| {
+            let fd = e.open("f", OpenFlags::create())?;
+            for i in 0..100u32 {
+                e.pwrite(fd, 0, &i.to_le_bytes())?;
+            }
+            e.fsync(fd)?;
+            e.close(fd)?;
+            let data = e.read_file("f")?;
+            ensure(data == 99u32.to_le_bytes(), "last write wins")
+        }),
+        t!(88, "concurrent handles see shared state", |e| {
+            e.write_file("f", b"before")?;
+            let a = e.open("f", OpenFlags::RDWR)?;
+            let b = e.open("f", OpenFlags::RDONLY)?;
+            e.pwrite(a, 0, b"after!")?;
+            let mut buf = [0u8; 6];
+            e.pread(b, 0, &mut buf)?;
+            e.close(a)?;
+            e.close(b)?;
+            ensure(&buf == b"after!", "second handle stale")
+        }),
+        t!(89, "o_sync write durable immediately", |e| {
+            let before = e.kernel.dirty_bytes();
+            let fd = e.open("f", OpenFlags::create().with(OpenFlags::SYNC))?;
+            e.pwrite(fd, 0, b"synced")?;
+            // Without an explicit fsync, O_SYNC already flushed: no *new*
+            // dirty data may be pending.
+            ensure(
+                e.kernel.dirty_bytes() <= before,
+                "dirty data grew after O_SYNC write",
+            )?;
+            e.close(fd)
+        }),
+        t!(90, "rename directory with open file inside", |e| {
+            e.mkdir("d")?;
+            e.write_file("d/f", b"inside")?;
+            let fd = e.open("d/f", OpenFlags::RDONLY)?;
+            e.rename("d", "d2")?;
+            let mut buf = [0u8; 6];
+            let n = e.pread(fd, 0, &mut buf)?;
+            e.close(fd)?;
+            ensure(n == 6 && &buf == b"inside", "open file after dir rename")?;
+            ensure(e.read_file("d2/f")? == b"inside", "new path works")
+        }),
+        // --- the paper's four CntrFS failures ------------------------------
+        t!(
+            228,
+            "RLIMIT_FSIZE enforced on write",
+            |e| {
+                e.set_fsize_limit(1024)?;
+                let fd = e.open("capped", OpenFlags::create())?;
+                let r1 = e.pwrite(fd, 0, &[0u8; 1024]);
+                let r2 = e.pwrite(fd, 1024, &[0u8; 1]);
+                let _ = e.close(fd);
+                e.clear_fsize_limit();
+                ensure(r1.is_ok(), "write within limit failed")?;
+                match r2 {
+                    Err(msg) if msg.contains("EFBIG") => Ok(()),
+                    other => Err(format!("expected EFBIG beyond RLIMIT_FSIZE, got {other:?}")),
+                }
+            },
+            expected: "file operations are replayed in the server process, whose RLIMIT_FSIZE is not the caller's (paper §5.1 #228)"
+        ),
+        t!(
+            375,
+            "setgid cleared on chmod by non-group-member",
+            |e| {
+                e.write_file("sg", b"")?;
+                e.chown("sg", 1000, 2000)?;
+                // Caller: uid 1000, group 3000 — NOT in the owning group.
+                e.with_user(1000, 3000, |pid| {
+                    e.kernel
+                        .chmod(pid, &e.p("sg"), Mode::new(0o2755))
+                        .map_err(|err| format!("chmod: {err}"))
+                })??;
+                let m = e.stat("sg")?.mode;
+                ensure(
+                    !m.is_setgid(),
+                    "SETGID bit not cleared in chmod when owner is not in the owning group",
+                )
+            },
+            expected: "POSIX ACL decisions are delegated to the backing filesystem under the server's identity (paper §5.1 #375)"
+        ),
+        t!(
+            391,
+            "O_DIRECT open supported",
+            |e| {
+                e.write_file("f", b"direct io")?;
+                let fd = e
+                    .open("f", OpenFlags::RDONLY.with(OpenFlags::DIRECT))
+                    .map_err(|err| format!("O_DIRECT open failed: {err}"))?;
+                let mut buf = [0u8; 9];
+                let n = e.pread(fd, 0, &mut buf)?;
+                e.close(fd)?;
+                ensure(n == 9 && &buf == b"direct io", "O_DIRECT read")
+            },
+            expected: "direct I/O and mmap are mutually exclusive in FUSE; CNTR chose mmap to execute binaries (paper §5.1 #391)"
+        ),
+        t!(
+            426,
+            "name_to_handle_at export",
+            |e| {
+                e.write_file("f", b"export me")?;
+                let handle = e
+                    .name_to_handle("f")
+                    .map_err(|err| format!("name_to_handle_at: {err}"))?;
+                ensure(handle != 0, "null handle")
+            },
+            expected: "inodes are dynamically assigned and destroyed, so handles are not exportable (paper §5.1 #426)"
+        ),
+    ];
+    v.sort_by_key(|c| c.id);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{cntrfs_over_tmpfs, native_tmpfs, run_suite};
+
+    #[test]
+    fn suite_has_94_unique_tests() {
+        let tests = all_tests();
+        assert_eq!(tests.len(), 94, "the generic group has 94 tests");
+        let mut ids: Vec<u32> = tests.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 94, "ids must be unique");
+        let expected: Vec<u32> = tests
+            .iter()
+            .filter(|t| t.expected_cntrfs_failure.is_some())
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(expected, vec![228, 375, 391, 426]);
+    }
+
+    #[test]
+    fn native_tmpfs_passes_all_94() {
+        let env = native_tmpfs();
+        let cases = all_tests();
+        let report = run_suite(&env, &cases);
+        let failed = report.failed_ids();
+        assert!(
+            failed.is_empty(),
+            "native tmpfs must pass everything, failed: {failed:?}\n{}",
+            report.render(&cases)
+        );
+        assert_eq!(report.passed(), 94);
+    }
+
+    #[test]
+    fn cntrfs_reproduces_the_papers_90_of_94() {
+        let env = cntrfs_over_tmpfs();
+        let cases = all_tests();
+        let report = run_suite(&env, &cases);
+        assert_eq!(
+            report.passed(),
+            90,
+            "paper: 90 of 94 pass\n{}",
+            report.render(&cases)
+        );
+        assert_eq!(
+            report.failed_ids(),
+            vec![228, 375, 391, 426],
+            "exactly the paper's four failures"
+        );
+    }
+}

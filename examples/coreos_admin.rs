@@ -1,0 +1,67 @@
+//! Container-to-host administration (paper §2.4, use case 3).
+//!
+//! Container-oriented distributions (CoreOS, RancherOS) ship no package
+//! manager; administrators keep their tools in a container. CNTR lets a
+//! privileged container's user reach the *host's* root filesystem under
+//! `/var/lib/cntr` while running the toolbox image's tools.
+//!
+//! ```text
+//! cargo run --example coreos_admin
+//! ```
+
+use cntr::prelude::*;
+
+fn main() {
+    let kernel = boot_host(SimClock::new());
+    // A lean CoreOS-like host: config files, no tools at all.
+    let fd = kernel
+        .open(Pid::INIT, "/etc/os-release", OpenFlags::create(), Mode::RW_R__R__)
+        .unwrap();
+    kernel.write_fd(Pid::INIT, fd, b"ID=coreos\n").unwrap();
+    kernel.close(Pid::INIT, fd).unwrap();
+
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("toolbox", "latest")
+            .layer("admin-tools")
+            .binary("/usr/bin/cat", 50_000, &[])
+            .binary("/usr/bin/ls", 140_000, &[])
+            .binary("/usr/bin/stat", 80_000, &[])
+            .binary("/usr/bin/tee", 60_000, &[])
+            .env("PATH", "/usr/bin")
+            .entrypoint("/usr/bin/ls")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::SystemdNspawn, kernel.clone(), registry);
+    let toolbox = docker.run("admin", "toolbox:latest").unwrap();
+
+    // Attach *to the host* (pid 1) with the toolbox as the fat container:
+    // tools at /, the host filesystem under /var/lib/cntr.
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr
+        .attach(
+            Pid::INIT,
+            CntrOptions {
+                tools: ToolsLocation::FatContainer(toolbox.pid),
+                fuse: FuseConfig::optimized(),
+            },
+        )
+        .unwrap();
+
+    println!("$ cat /var/lib/cntr/etc/os-release");
+    print!("{}", session.run("cat /var/lib/cntr/etc/os-release"));
+    println!("$ stat /var/lib/cntr/etc/os-release");
+    print!("{}", session.run("stat /var/lib/cntr/etc/os-release"));
+    // Administer the host: write a config using a toolbox binary.
+    session.run("tee /var/lib/cntr/etc/motd maintained-via-cntr-toolbox");
+    let fd = kernel
+        .open(Pid::INIT, "/etc/motd", OpenFlags::RDONLY, Mode::RW_R__R__)
+        .unwrap();
+    let mut buf = [0u8; 64];
+    let n = kernel.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+    println!(
+        "\nhost /etc/motd now contains: {}",
+        String::from_utf8_lossy(&buf[..n])
+    );
+    session.detach().unwrap();
+}

@@ -1,0 +1,76 @@
+//! Container-to-container debugging in production (paper §2.4, use case 1).
+//!
+//! A slim MySQL container is debugged with tools from a separate fat
+//! "debug-tools" container: gdb attaches to the database process, and the
+//! DBA edits the live configuration through `/var/lib/cntr` — without one
+//! byte of tooling inside the production image.
+//!
+//! ```text
+//! cargo run --example debug_production_db
+//! ```
+
+use cntr::prelude::*;
+
+fn main() {
+    let kernel = boot_host(SimClock::new());
+    let registry = Registry::new();
+
+    registry.push(
+        ImageBuilder::new("mysql", "8-slim")
+            .layer("mysql")
+            .binary("/usr/sbin/mysqld", 45_000_000, &[])
+            .text("/etc/my.cnf", "[mysqld]\nmax_connections=100\n")
+            .dir("/var/lib/mysql")
+            .env("MYSQL_DATABASE", "orders")
+            .entrypoint("/usr/sbin/mysqld")
+            .build(),
+    );
+    registry.push(
+        ImageBuilder::new("debug-tools", "latest")
+            .layer("toolbox")
+            .binary("/usr/bin/gdb", 80_000_000, &[])
+            .binary("/usr/bin/strace", 2_000_000, &[])
+            .binary("/usr/bin/cat", 50_000, &[])
+            .binary("/usr/bin/tee", 50_000, &[])
+            .binary("/usr/bin/ps", 120_000, &[])
+            .env("PATH", "/usr/bin")
+            .entrypoint("/usr/bin/gdb")
+            .build(),
+    );
+
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let db = docker.run("prod-db", "mysql:8-slim").unwrap();
+    docker.run("toolbox", "debug-tools:latest").unwrap();
+    println!("prod-db running (pid {}), toolbox running — attaching...\n", db.pid);
+
+    // cntr attach prod-db --fat-container toolbox
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr
+        .attach_with_engine(&docker, "prod-db", Some("toolbox"), FuseConfig::optimized())
+        .unwrap();
+
+    println!("$ gdb -p {}", db.pid);
+    print!("{}", session.run(&format!("gdb -p {}", db.pid)));
+
+    println!("$ cat /var/lib/cntr/etc/my.cnf");
+    print!("{}", session.run("cat /var/lib/cntr/etc/my.cnf"));
+
+    // Edit the config in place; the database sees it immediately (§7:
+    // "developers can use their favorite editor to edit files in place and
+    // reload the service").
+    println!("$ tee /var/lib/cntr/etc/my.cnf [mysqld] max_connections=500");
+    session.run("tee /var/lib/cntr/etc/my.cnf [mysqld] max_connections=500");
+    let fd = kernel
+        .open(db.pid, "/etc/my.cnf", OpenFlags::RDONLY, Mode::RW_R__R__)
+        .unwrap();
+    let mut buf = [0u8; 128];
+    let n = kernel.read_fd(db.pid, fd, &mut buf).unwrap();
+    kernel.close(db.pid, fd).unwrap();
+    println!(
+        "\nthe database now reads: {}",
+        String::from_utf8_lossy(&buf[..n])
+    );
+
+    session.detach().unwrap();
+    println!("detached — prod-db never contained a single debug tool");
+}

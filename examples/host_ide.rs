@@ -1,0 +1,59 @@
+//! Host-to-container debugging (paper §2.4, use case 2), with X11
+//! forwarding for graphical tools (paper §3.2.4).
+//!
+//! ```text
+//! cargo run --example host_ide
+//! ```
+
+use cntr::prelude::*;
+
+fn main() {
+    let kernel = boot_host(SimClock::new());
+    // The developer's host has a multi-gigabyte IDE installed.
+    for (tool, size) in [("ide", 3_000_000_000u64), ("gdb", 80_000_000)] {
+        let path = format!("/usr/bin/{tool}");
+        let fd = kernel
+            .open(Pid::INIT, &path, OpenFlags::create(), Mode::RWXR_XR_X)
+            .unwrap();
+        kernel.write_fd(Pid::INIT, fd, b"host binary").unwrap();
+        kernel.close(Pid::INIT, fd).unwrap();
+        kernel.chmod(Pid::INIT, &path, Mode::RWXR_XR_X).unwrap();
+        let _ = size; // sizes are illustrative; content is simulated
+    }
+    kernel.setenv(Pid::INIT, "PATH", "/usr/bin").unwrap();
+    // The host X server.
+    let x11 = kernel.bind_listener(Pid::INIT, "/run/x11.sock").unwrap();
+
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("webapp", "ci")
+            .layer("app")
+            .binary("/app/server", 20_000_000, &[])
+            .entrypoint("/app/server")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let app = docker.run("webapp", "webapp:ci").unwrap();
+
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(app.pid, CntrOptions::default()).unwrap();
+    println!("attached with host tools; launching the 'IDE' against the app\n");
+    print!("$ ide\n{}", session.run("ide /var/lib/cntr/app/server"));
+
+    // Forward the host X11 socket into the container so graphical tools work.
+    let proxy = session
+        .forward_socket("/var/lib/cntr/tmp/.X11-unix", "/run/x11.sock")
+        .unwrap();
+    let client = kernel.connect(app.pid, "/tmp/.X11-unix").unwrap();
+    proxy.pump().unwrap();
+    kernel.write_fd(app.pid, client, b"XOpenDisplay").unwrap();
+    session.pump_proxies().unwrap();
+    let server_side = kernel.accept(Pid::INIT, x11).unwrap();
+    let mut buf = [0u8; 32];
+    let n = kernel.read_fd(Pid::INIT, server_side, &mut buf).unwrap();
+    println!(
+        "\nX11 server received through the proxy: {:?}",
+        String::from_utf8_lossy(&buf[..n])
+    );
+    session.detach().unwrap();
+}

@@ -1,0 +1,55 @@
+//! Quickstart: attach to a slim container with host tools.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cntr::prelude::*;
+
+fn main() {
+    // A simulated host with a toolbox in /usr/bin.
+    let kernel = boot_host(SimClock::new());
+    for tool in ["gdb", "ls", "cat", "ps", "strace"] {
+        let path = format!("/usr/bin/{tool}");
+        let fd = kernel
+            .open(Pid::INIT, &path, OpenFlags::create(), Mode::RWXR_XR_X)
+            .unwrap();
+        kernel.write_fd(Pid::INIT, fd, b"ELF host tool").unwrap();
+        kernel.close(Pid::INIT, fd).unwrap();
+        kernel.chmod(Pid::INIT, &path, Mode::RWXR_XR_X).unwrap();
+    }
+    kernel.setenv(Pid::INIT, "PATH", "/usr/bin").unwrap();
+
+    // A slim Redis image: the app and its config. No shell, no tools.
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("redis", "7-slim")
+            .layer("redis")
+            .binary("/usr/local/bin/redis-server", 12_000_000, &[])
+            .text("/etc/redis.conf", "maxmemory 256mb\n")
+            .env("REDIS_PORT", "6379")
+            .entrypoint("/usr/local/bin/redis-server")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let container = docker.run("cache", "redis:7-slim").unwrap();
+    println!("started container 'cache' ({}) pid={}", &container.id[..12], container.pid);
+
+    // cntr attach cache
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(container.pid, CntrOptions::default()).unwrap();
+    println!("attached: tools from the host, app under /var/lib/cntr\n");
+
+    for cmd in [
+        "ls /usr/bin",
+        "ls /var/lib/cntr/usr/local/bin",
+        "cat /var/lib/cntr/etc/redis.conf",
+        &format!("gdb -p {}", container.pid),
+    ] {
+        println!("$ {cmd}");
+        print!("{}", session.run(cmd));
+    }
+
+    session.detach().unwrap();
+    println!("\ndetached; the container keeps running untouched");
+}

@@ -1,0 +1,73 @@
+//! # cntr — a reproduction of *CNTR: Lightweight OS Containers* (USENIX ATC '18)
+//!
+//! CNTR splits container images into a **slim** image (the application) and
+//! a **fat** image (the tools), and merges them *at runtime*: attach to a
+//! running slim container and a nested mount namespace appears in which the
+//! fat container's (or the host's) filesystem is served at `/` through a
+//! FUSE filesystem — CntrFS — while the application's root is re-mounted at
+//! `/var/lib/cntr`. Tools run inside the container (same pid namespace,
+//! cgroup, capabilities) with their binaries forwarded over FUSE.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | provides |
+//! |---|---|
+//! | [`types`] | errno, ids, stat, flags, virtual clock + cost model |
+//! | [`blockdev`] | gp2-like simulated block device |
+//! | [`fs`] | `Filesystem` trait, MemFs (tmpfs), DiskFs (ext4-like) |
+//! | [`kernel`] | processes, namespaces, mounts, VFS, page cache, sockets |
+//! | [`fuse`] | the FUSE protocol: client caches, transports, server runtime |
+//! | [`engine`] | images, registry, Docker/LXC/rkt/systemd-nspawn |
+//! | [`core`] | **the paper's contribution**: attach workflow, CntrFS server, pty, shell, socket proxy |
+//! | [`slim`] | Docker Slim + the Top-50 corpus (Figure 5) |
+//! | [`xfstests`] | the 94-test regression suite (§5.1) |
+//! | [`phoronix`] | the 20-benchmark performance suite (Figures 2–4) |
+//!
+//! # Examples
+//!
+//! ```
+//! use cntr::prelude::*;
+//!
+//! // Boot a host, start a slim container, attach with host tools.
+//! let kernel = boot_host(SimClock::new());
+//! let registry = Registry::new();
+//! registry.push(
+//!     ImageBuilder::new("redis", "7")
+//!         .layer("app")
+//!         .binary("/usr/bin/redis-server", 1_000_000, &[])
+//!         .entrypoint("/usr/bin/redis-server")
+//!         .build(),
+//! );
+//! let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+//! let c = docker.run("cache", "redis:7").unwrap();
+//!
+//! let cntr = Cntr::new(kernel.clone());
+//! let session = cntr.attach(c.pid, CntrOptions::default()).unwrap();
+//! // The application's filesystem is visible under /var/lib/cntr.
+//! assert!(kernel
+//!     .stat(session.attached, "/var/lib/cntr/usr/bin/redis-server")
+//!     .unwrap()
+//!     .is_file());
+//! session.detach().unwrap();
+//! ```
+
+pub use cntr_blockdev as blockdev;
+pub use cntr_core as core;
+pub use cntr_engine as engine;
+pub use cntr_fs as fs;
+pub use cntr_fuse as fuse;
+pub use cntr_kernel as kernel;
+pub use cntr_phoronix as phoronix;
+pub use cntr_slim as slim;
+pub use cntr_types as types;
+pub use cntr_xfstests as xfstests;
+
+/// The common imports for CNTR applications.
+pub mod prelude {
+    pub use cntr_core::{AttachSession, Cntr, CntrOptions, ToolsLocation};
+    pub use cntr_engine::runtime::boot_host;
+    pub use cntr_engine::{ContainerRuntime, EngineKind, ImageBuilder, Registry};
+    pub use cntr_fuse::FuseConfig;
+    pub use cntr_kernel::Kernel;
+    pub use cntr_types::{Mode, OpenFlags, Pid, SimClock};
+}

@@ -1,0 +1,176 @@
+//! End-to-end integration tests spanning every crate: registry → engines →
+//! slimming → deployment → attach → tools → failure injection.
+
+use cntr::prelude::*;
+use cntr::engine::registry::DeploymentModel;
+use cntr::slim::DockerSlim;
+use cntr::types::Errno;
+use std::sync::Arc;
+
+fn host_with_tools() -> Kernel {
+    let kernel = boot_host(SimClock::new());
+    for tool in ["gdb", "ls", "cat", "ps", "strace", "tee", "stat", "env", "hostname"] {
+        let path = format!("/usr/bin/{tool}");
+        let fd = kernel
+            .open(Pid::INIT, &path, OpenFlags::create(), Mode::RWXR_XR_X)
+            .unwrap();
+        kernel.write_fd(Pid::INIT, fd, b"tool").unwrap();
+        kernel.close(Pid::INIT, fd).unwrap();
+        kernel.chmod(Pid::INIT, &path, Mode::RWXR_XR_X).unwrap();
+    }
+    kernel.setenv(Pid::INIT, "PATH", "/usr/bin").unwrap();
+    kernel
+}
+
+fn fat_nginx() -> Arc<cntr::engine::Image> {
+    ImageBuilder::new("nginx", "fat")
+        .layer("debian")
+        .binary("/bin/bash", 1_100_000, &["/lib/libc.so"])
+        .binary("/usr/bin/apt", 4_000_000, &["/lib/libc.so"])
+        .file("/usr/share/doc/everything", 40_000_000)
+        .layer("nginx")
+        .binary("/usr/sbin/nginx", 1_500_000, &["/lib/libc.so", "/lib/libssl.so"])
+        .file("/lib/libc.so", 2_000_000)
+        .file("/lib/libssl.so", 700_000)
+        .text("/etc/nginx.conf", "worker_processes auto;\n")
+        .entrypoint("/usr/sbin/nginx")
+        .build()
+}
+
+/// The paper's whole story in one test: build a fat image, slim it with
+/// Docker Slim, show the slim image deploys faster, then recover the missing
+/// tooling at runtime by attaching with CNTR.
+#[test]
+fn slim_deploy_attach_pipeline() {
+    let kernel = host_with_tools();
+    let registry = Registry::new();
+    registry.push(fat_nginx());
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry.clone());
+
+    // 1. Profile and slim the fat image.
+    docker.run("profile", "nginx:fat").unwrap();
+    let fat = registry.get("nginx:fat").unwrap();
+    let report = DockerSlim::new().slim(&docker, "profile", &fat).unwrap();
+    assert!(report.reduction_percent() > 50.0);
+    registry.push(Arc::clone(&report.slim_image));
+    docker.stop("profile").unwrap();
+
+    // 2. The slim image deploys faster onto a fresh host.
+    let model = DeploymentModel::datacenter();
+    let fat_deploy = registry.deploy("host-a", "nginx:fat", model).unwrap();
+    let slim_deploy = registry.deploy("host-b", "nginx:fat-slim", model).unwrap();
+    assert!(slim_deploy.total_time < fat_deploy.total_time);
+    assert!(fat_deploy.download_fraction() > 0.5, "downloads dominate deployment");
+
+    // 3. The slim container runs, but has no tools at all.
+    let web = docker.run("web", "nginx:fat-slim").unwrap();
+    assert!(kernel.stat(web.pid, "/usr/sbin/nginx").unwrap().is_file());
+    assert!(kernel.stat(web.pid, "/bin/bash").is_err());
+
+    // 4. CNTR restores full tooling at runtime, from the host.
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(web.pid, CntrOptions::default()).unwrap();
+    let out = session.run(&format!("gdb -p {}", web.pid));
+    assert!(out.contains("Attaching to process"), "{out}");
+    let conf = session.run("cat /var/lib/cntr/etc/nginx.conf");
+    assert!(conf.contains("worker_processes"), "{conf}");
+    session.detach().unwrap();
+
+    // 5. The container itself was never polluted.
+    assert!(kernel.stat(web.pid, "/usr/bin/gdb").is_err());
+}
+
+/// CNTR works identically across all four engine flavours (paper §4).
+#[test]
+fn attach_works_on_every_engine() {
+    for kind in [
+        EngineKind::Docker,
+        EngineKind::Lxc,
+        EngineKind::Rkt,
+        EngineKind::SystemdNspawn,
+    ] {
+        let kernel = host_with_tools();
+        let registry = Registry::new();
+        registry.push(fat_nginx());
+        let rt = ContainerRuntime::new(kind, kernel.clone(), registry);
+        let _started = rt.run("app", "nginx:fat").unwrap();
+        let cntr = Cntr::new(kernel.clone());
+        let session = cntr
+            .attach_with_engine(&rt, "app", None, FuseConfig::optimized())
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert!(
+            kernel
+                .stat(session.attached, "/var/lib/cntr/usr/sbin/nginx")
+                .unwrap()
+                .is_file(),
+            "{kind:?}"
+        );
+        session.detach().unwrap();
+    }
+}
+
+/// Killing the CntrFS server must not harm the application container.
+#[test]
+fn server_crash_leaves_application_intact() {
+    let kernel = host_with_tools();
+    let registry = Registry::new();
+    registry.push(fat_nginx());
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let c = docker.run("app", "nginx:fat").unwrap();
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(c.pid, CntrOptions::default()).unwrap();
+    assert!(kernel.stat(session.attached, "/usr/bin/gdb").is_ok());
+
+    session.kill_server();
+    assert_eq!(
+        kernel.stat(session.attached, "/usr/bin/never-seen"),
+        Err(Errno::ENOTCONN)
+    );
+    // The application is unaffected: its filesystem is not behind FUSE.
+    assert!(kernel.stat(c.pid, "/usr/sbin/nginx").unwrap().is_file());
+    let fd = kernel
+        .open(c.pid, "/etc/nginx.conf", OpenFlags::RDONLY, Mode::RW_R__R__)
+        .unwrap();
+    kernel.close(c.pid, fd).unwrap();
+}
+
+/// Attach sessions are isolated: two concurrent sessions on different
+/// containers do not interfere.
+#[test]
+fn concurrent_sessions_are_isolated() {
+    let kernel = host_with_tools();
+    let registry = Registry::new();
+    registry.push(fat_nginx());
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let a = docker.run("a", "nginx:fat").unwrap();
+    let b = docker.run("b", "nginx:fat").unwrap();
+    let cntr = Cntr::new(kernel.clone());
+    let sa = cntr.attach(a.pid, CntrOptions::default()).unwrap();
+    let sb = cntr.attach(b.pid, CntrOptions::default()).unwrap();
+    // Write through session A's /var/lib/cntr; session B must not see it.
+    sa.run("tee /var/lib/cntr/tmp/marker from-session-a");
+    assert!(kernel.stat(a.pid, "/tmp/marker").unwrap().is_file());
+    assert!(kernel.stat(b.pid, "/tmp/marker").is_err());
+    sa.detach().unwrap();
+    // Session B still works after A detached.
+    assert!(kernel.stat(sb.attached, "/usr/bin/gdb").unwrap().is_file());
+    sb.detach().unwrap();
+}
+
+/// The per-engine container ids resolve, and resolution drives attach.
+#[test]
+fn engine_name_resolution_end_to_end() {
+    let kernel = host_with_tools();
+    let registry = Registry::new();
+    registry.push(fat_nginx());
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let c = docker.run("named", "nginx:fat").unwrap();
+    assert_eq!(docker.resolve("named").unwrap(), c.pid);
+    assert_eq!(docker.resolve(&c.id[..12]).unwrap(), c.pid);
+    let cntr = Cntr::new(kernel.clone());
+    let by_id = cntr
+        .attach_with_engine(&docker, &c.id[..12], None, FuseConfig::optimized())
+        .unwrap();
+    assert_eq!(by_id.target, c.pid);
+    by_id.detach().unwrap();
+}
