@@ -3,11 +3,11 @@
 //! These measure the *implementation* (real time per simulated operation),
 //! complementing the virtual-time figure regenerations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cntr_fs::memfs::memfs;
 use cntr_fs::{Filesystem, FsContext};
 use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, InlineTransport};
 use cntr_types::{CostModel, DevId, FileType, Ino, Mode, OpenFlags, SimClock};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 fn mounted() -> Arc<FuseClientFs> {

@@ -2,11 +2,11 @@
 //! reproducing each experiment end to end (sample size kept minimal — each
 //! iteration builds machines and runs full workloads).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cntr_fuse::FuseConfig;
 use cntr_phoronix::{run_workload, Workload};
 use cntr_xfstests::harness::run_suite;
 use cntr_xfstests::{all_tests, cntrfs_over_tmpfs};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_workload_compile_read(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");

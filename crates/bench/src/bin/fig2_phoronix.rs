@@ -5,7 +5,10 @@ use cntr_phoronix::figure2;
 fn main() {
     println!("Figure 2 — relative performance overhead (CntrFS / native, virtual time)");
     println!("{:-<78}", "");
-    println!("{:<24}{:>10}{:>10}{:>12}  times (native / cntrfs)", "benchmark", "measured", "paper", "in band?");
+    println!(
+        "{:<24}{:>10}{:>10}{:>12}  times (native / cntrfs)",
+        "benchmark", "measured", "paper", "in band?"
+    );
     let rows = figure2();
     let mut in_band = 0;
     for r in &rows {

@@ -5,11 +5,21 @@ use cntr_phoronix::figure3;
 fn main() {
     println!("Figure 3 — effectiveness of the CntrFS optimizations");
     println!("{:-<74}", "");
-    let paper = ["~10x (threaded read)", "+65% (seq write)", "2.5x (compile read)", "~5% (seq read)"];
+    let paper = [
+        "~10x (threaded read)",
+        "+65% (seq write)",
+        "2.5x (compile read)",
+        "~5% (seq read)",
+    ];
     for (row, paper) in figure3().iter().zip(paper) {
         println!(
             "{} {:<42} before={} after={}  speedup={:.2}x (paper: {})",
-            row.panel, row.optimization, row.before, row.after, row.speedup(), paper
+            row.panel,
+            row.optimization,
+            row.before,
+            row.after,
+            row.speedup(),
+            paper
         );
     }
 }

@@ -30,7 +30,11 @@ fn main() {
         stats.frac_60_to_97 * 100.0
     );
     let mut sorted: Vec<_> = reports.iter().collect();
-    sorted.sort_by(|a, b| a.reduction_percent().partial_cmp(&b.reduction_percent()).unwrap());
+    sorted.sort_by(|a, b| {
+        a.reduction_percent()
+            .partial_cmp(&b.reduction_percent())
+            .unwrap()
+    });
     println!("\nsmallest reductions:");
     for r in sorted.iter().take(6) {
         println!(

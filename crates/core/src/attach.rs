@@ -141,13 +141,7 @@ impl Cntr {
             Ok(()) | Err(Errno::EEXIST) => {}
             Err(e) => return Err(e),
         }
-        k.mount_fs(
-            attached,
-            &tmp,
-            client.clone(),
-            cache,
-            MountFlags::default(),
-        )?;
+        k.mount_fs(attached, &tmp, client.clone(), cache, MountFlags::default())?;
 
         // Re-mount the application's tree under TMP/var/lib/cntr. The
         // directory is created *through CntrFS* (i.e. on the tools side).
@@ -308,7 +302,11 @@ impl AttachSession {
 
     /// Forwards a Unix socket: listens at `nested_path` (inside the
     /// container view) and forwards to `target_path` on the tools side.
-    pub fn forward_socket(&self, nested_path: &str, target_path: &str) -> SysResult<Arc<SocketProxy>> {
+    pub fn forward_socket(
+        &self,
+        nested_path: &str,
+        target_path: &str,
+    ) -> SysResult<Arc<SocketProxy>> {
         let proxy = SocketProxy::new(
             self.kernel.clone(),
             self.attached,
@@ -357,7 +355,9 @@ mod tests {
 
     fn host_with_tools() -> Kernel {
         let k = boot_host(SimClock::new());
-        for tool in ["ls", "cat", "ps", "gdb", "strace", "env", "stat", "tee", "hostname"] {
+        for tool in [
+            "ls", "cat", "ps", "gdb", "strace", "env", "stat", "tee", "hostname",
+        ] {
             let path = format!("/usr/bin/{tool}");
             let fd = k
                 .open(Pid::INIT, &path, OpenFlags::create(), Mode::RWXR_XR_X)
@@ -376,7 +376,10 @@ mod tests {
             .layer("mysql-app")
             .binary("/usr/sbin/mysqld", 40_000_000, &[])
             .text("/etc/my.cnf", "[mysqld]\nmax_connections=100\n")
-            .text("/etc/passwd", "root:x:0:0::/:/bin/sh\nmysql:x:999:999::/var/lib/mysql:\n")
+            .text(
+                "/etc/passwd",
+                "root:x:0:0::/:/bin/sh\nmysql:x:999:999::/var/lib/mysql:\n",
+            )
             .text("/etc/hostname", "db\n")
             .dir("/var/lib/mysql")
             .env("MYSQL_DATABASE", "prod")
@@ -434,7 +437,9 @@ mod tests {
             .is_ok());
         // Environment: app values kept, PATH from the host.
         assert_eq!(
-            k.getenv(session.attached, "MYSQL_DATABASE").unwrap().as_deref(),
+            k.getenv(session.attached, "MYSQL_DATABASE")
+                .unwrap()
+                .as_deref(),
             Some("prod")
         );
         assert_eq!(
@@ -456,7 +461,10 @@ mod tests {
         // Note: inside the container's pid namespace the app is still
         // /proc/<global pid> in our simulation; attach via the visible pid.
         let out2 = session.run(&format!("gdb -p {}", c.pid));
-        assert!(out.contains("gdb") || out2.contains("Attaching"), "{out}{out2}");
+        assert!(
+            out.contains("gdb") || out2.contains("Attaching"),
+            "{out}{out2}"
+        );
         let cat = session.run("cat /var/lib/cntr/etc/my.cnf");
         assert!(cat.contains("max_connections=100"));
 
@@ -566,10 +574,7 @@ mod tests {
             .unwrap()
             .is_file());
         assert!(k
-            .stat(
-                inner.attached,
-                "/var/lib/cntr/var/lib/cntr/usr/sbin/mysqld"
-            )
+            .stat(inner.attached, "/var/lib/cntr/var/lib/cntr/usr/sbin/mysqld")
             .unwrap()
             .is_file());
         inner.detach().unwrap();

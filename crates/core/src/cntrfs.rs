@@ -129,12 +129,10 @@ impl CntrfsServer {
         // The open() of the open+stat pair: take (and immediately release) a
         // handle so the cost profile matches the real CntrFS lookup path.
         if st.ftype == FileType::Regular {
-            if let Ok(fd) = self.kernel.open(
-                self.server_pid,
-                path,
-                OpenFlags::RDONLY,
-                Mode::RW_R__R__,
-            ) {
+            if let Ok(fd) =
+                self.kernel
+                    .open(self.server_pid, path, OpenFlags::RDONLY, Mode::RW_R__R__)
+            {
                 let _ = self.kernel.close(self.server_pid, fd);
             }
         }
@@ -367,12 +365,7 @@ impl FuseHandler for CntrfsServer {
                 let path = Self::child_path(&parent_path, &name);
                 let res = if ftype == FileType::Regular {
                     self.kernel
-                        .open(
-                            self.server_pid,
-                            &path,
-                            OpenFlags::create_new(),
-                            mode,
-                        )
+                        .open(self.server_pid, &path, OpenFlags::create_new(), mode)
                         .and_then(|fd| self.kernel.close(self.server_pid, fd))
                         .and_then(|()| self.kernel.chmod(self.server_pid, &path, mode))
                 } else {
@@ -429,10 +422,7 @@ impl FuseHandler for CntrfsServer {
                 flags,
             } => {
                 let (old, new) = match (self.path_of(parent), self.path_of(newparent)) {
-                    (Ok(a), Ok(b)) => (
-                        Self::child_path(&a, &name),
-                        Self::child_path(&b, &newname),
-                    ),
+                    (Ok(a), Ok(b)) => (Self::child_path(&a, &name), Self::child_path(&b, &newname)),
                     (Err(e), _) | (_, Err(e)) => return Reply::Err(e),
                 };
                 match self.kernel.rename(self.server_pid, &old, &new, flags) {
@@ -463,7 +453,10 @@ impl FuseHandler for CntrfsServer {
                     Ok(p) => p,
                     Err(e) => return Reply::Err(e),
                 };
-                match self.kernel.open(self.server_pid, &path, flags, Mode::RW_R__R__) {
+                match self
+                    .kernel
+                    .open(self.server_pid, &path, flags, Mode::RW_R__R__)
+                {
                     Ok(fd) => {
                         let mut st = self.state.lock();
                         let fh = st.next_fh;
@@ -512,9 +505,7 @@ impl FuseHandler for CntrfsServer {
                     st.handles.remove(&fh)
                 };
                 match fd {
-                    Some((fd, _)) => {
-                        ok_or(self.kernel.close(self.server_pid, fd), |()| Reply::Ok)
-                    }
+                    Some((fd, _)) => ok_or(self.kernel.close(self.server_pid, fd), |()| Reply::Ok),
                     None => Reply::Err(Errno::EBADF),
                 }
             }
@@ -559,7 +550,10 @@ impl FuseHandler for CntrfsServer {
                     Ok(p) => p,
                     Err(e) => return Reply::Err(e),
                 };
-                ok_or(self.kernel.getxattr(self.server_pid, &path, &name), Reply::Xattr)
+                ok_or(
+                    self.kernel.getxattr(self.server_pid, &path, &name),
+                    Reply::Xattr,
+                )
             }
             Request::Setxattr {
                 ino,
@@ -616,12 +610,10 @@ impl FuseHandler for CntrfsServer {
                     Err(e) => return Reply::Err(e),
                 };
                 let path = Self::child_path(&parent_path, &name);
-                match self.kernel.open(
-                    self.server_pid,
-                    &path,
-                    flags.with(OpenFlags::CREAT),
-                    mode,
-                ) {
+                match self
+                    .kernel
+                    .open(self.server_pid, &path, flags.with(OpenFlags::CREAT), mode)
+                {
                     Ok(fd) => {
                         self.stamp_owner(&path, ctx);
                         let stat = match self.lookup_impl(parent, &name) {
@@ -671,8 +663,8 @@ impl FuseHandler for CntrfsServer {
 mod tests {
     use super::*;
     use cntr_engine::runtime::boot_host;
-    use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport};
     use cntr_fs::{Filesystem, FsContext};
+    use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport};
     use cntr_types::SimClock;
 
     fn setup() -> (Kernel, Arc<FuseClientFs>) {
@@ -680,7 +672,12 @@ mod tests {
         // Host files the server will expose.
         k.mkdir(Pid::INIT, "/usr/share", Mode::RWXR_XR_X).unwrap();
         let fd = k
-            .open(Pid::INIT, "/usr/bin/gdb", OpenFlags::create(), Mode::RWXR_XR_X)
+            .open(
+                Pid::INIT,
+                "/usr/bin/gdb",
+                OpenFlags::create(),
+                Mode::RWXR_XR_X,
+            )
             .unwrap();
         k.write_fd(Pid::INIT, fd, b"GDB-BINARY").unwrap();
         k.close(Pid::INIT, fd).unwrap();
@@ -719,16 +716,20 @@ mod tests {
         let (k, fs) = setup();
         let etc = fs.lookup(Ino(1), "etc").unwrap();
         let st = fs
-            .mknod(etc.ino, "written-via-fuse", FileType::Regular, Mode::RW_R__R__, 0, &FsContext::root())
+            .mknod(
+                etc.ino,
+                "written-via-fuse",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &FsContext::root(),
+            )
             .unwrap();
         let fh = fs.open(st.ino, OpenFlags::WRONLY).unwrap();
         fs.write(st.ino, fh, 0, b"hello host").unwrap();
         fs.release(st.ino, fh).unwrap();
         // Visible directly on the host.
-        assert_eq!(
-            k.stat(Pid::INIT, "/etc/written-via-fuse").unwrap().size,
-            10
-        );
+        assert_eq!(k.stat(Pid::INIT, "/etc/written-via-fuse").unwrap().size, 10);
     }
 
     #[test]
@@ -766,9 +767,15 @@ mod tests {
     #[test]
     fn rename_fixes_descendant_paths() {
         let (k, fs) = setup();
-        k.mkdir(Pid::INIT, "/usr/share/doc", Mode::RWXR_XR_X).unwrap();
+        k.mkdir(Pid::INIT, "/usr/share/doc", Mode::RWXR_XR_X)
+            .unwrap();
         let fd = k
-            .open(Pid::INIT, "/usr/share/doc/readme", OpenFlags::create(), Mode::RW_R__R__)
+            .open(
+                Pid::INIT,
+                "/usr/share/doc/readme",
+                OpenFlags::create(),
+                Mode::RW_R__R__,
+            )
             .unwrap();
         k.write_fd(Pid::INIT, fd, b"docs").unwrap();
         k.close(Pid::INIT, fd).unwrap();
@@ -778,8 +785,14 @@ mod tests {
         let doc = fs.lookup(share.ino, "doc").unwrap();
         let readme = fs.lookup(doc.ino, "readme").unwrap();
 
-        fs.rename(usr.ino, "share", usr.ino, "shared", cntr_types::RenameFlags::NONE)
-            .unwrap();
+        fs.rename(
+            usr.ino,
+            "share",
+            usr.ino,
+            "shared",
+            cntr_types::RenameFlags::NONE,
+        )
+        .unwrap();
         // The remembered inode still resolves through its new path.
         let st = fs.getattr(readme.ino).unwrap();
         assert_eq!(st.size, 4);

@@ -153,9 +153,9 @@ impl ContainerContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cntr_engine::image::ImageBuilder;
     use cntr_engine::runtime::boot_host;
     use cntr_engine::{ContainerRuntime, EngineKind, Registry};
-    use cntr_engine::image::ImageBuilder;
     use cntr_types::SimClock;
 
     #[test]

@@ -78,9 +78,7 @@ impl Pty {
                     out.push(byte[0]);
                 }
                 Err(Errno::EAGAIN) if out.is_empty() => return Ok(None),
-                Err(Errno::EAGAIN) => {
-                    return Ok(Some(String::from_utf8_lossy(&out).to_string()))
-                }
+                Err(Errno::EAGAIN) => return Ok(Some(String::from_utf8_lossy(&out).to_string())),
                 Err(e) => return Err(e),
             }
         }

@@ -193,12 +193,7 @@ impl Shell {
                 // "edit a config in place, then reload" workflow (§7).
                 let path = args.first().copied().ok_or(Errno::EINVAL)?;
                 let content = args[1..].join(" ");
-                let fd = k.open(
-                    self.pid,
-                    path,
-                    OpenFlags::create(),
-                    Mode::RW_R__R__,
-                )?;
+                let fd = k.open(self.pid, path, OpenFlags::create(), Mode::RW_R__R__)?;
                 let mut written = 0;
                 let bytes = content.as_bytes();
                 while written < bytes.len() {

@@ -150,7 +150,15 @@ impl Image {
     /// and `/tmp` always exist so the runtime can mount over them.
     pub fn materialize(&self, fs: &MemFs) -> SysResult<()> {
         let ctx = FsContext::root();
-        for dir in ["/proc", "/dev", "/etc", "/tmp", "/var", "/var/lib", "/var/lib/cntr"] {
+        for dir in [
+            "/proc",
+            "/dev",
+            "/etc",
+            "/tmp",
+            "/var",
+            "/var/lib",
+            "/var/lib/cntr",
+        ] {
             mkdir_p(fs, dir, &ctx)?;
         }
         for e in self.all_entries() {
@@ -160,11 +168,7 @@ impl Image {
                     if let Ok((parent, name)) = split_parent(&e.path) {
                         let pino = resolve_dir(fs, parent)?;
                         if let Ok(st) = fs.lookup(pino, name) {
-                            let _ = fs.setattr(
-                                st.ino,
-                                &cntr_types::SetAttr::chmod(*mode),
-                                &ctx,
-                            );
+                            let _ = fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), &ctx);
                         }
                     }
                 }
@@ -224,9 +228,7 @@ fn mkdir_p(fs: &MemFs, path: &str, ctx: &FsContext) -> SysResult<()> {
     for comp in path.split('/').filter(|c| !c.is_empty()) {
         ino = match fs.lookup(ino, comp) {
             Ok(st) => st.ino,
-            Err(cntr_types::Errno::ENOENT) => {
-                fs.mkdir(ino, comp, Mode::RWXR_XR_X, ctx)?.ino
-            }
+            Err(cntr_types::Errno::ENOENT) => fs.mkdir(ino, comp, Mode::RWXR_XR_X, ctx)?.ino,
             Err(e) => return Err(e),
         };
     }

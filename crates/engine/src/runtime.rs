@@ -10,9 +10,9 @@
 
 use crate::registry::Registry;
 use cntr_fs::memfs::memfs;
+use cntr_kernel::cred::Credentials;
 use cntr_kernel::devfs;
 use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
-use cntr_kernel::cred::Credentials;
 use cntr_types::{DevId, Errno, Mode, Pid, SysResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -52,7 +52,10 @@ impl EngineKind {
                 // 64 hex chars derived from the sequence number.
                 let mut id = format!("{seq:016x}");
                 while id.len() < 64 {
-                    let next = format!("{:016x}", seq.wrapping_mul(0x9E3779B97F4A7C15) ^ id.len() as u64);
+                    let next = format!(
+                        "{:016x}",
+                        seq.wrapping_mul(0x9E3779B97F4A7C15) ^ id.len() as u64
+                    );
                     id.push_str(&next);
                 }
                 id.truncate(64);
@@ -61,7 +64,11 @@ impl EngineKind {
             EngineKind::Lxc => name.to_string(),
             EngineKind::Rkt => format!(
                 "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
-                seq, seq & 0xFFFF, 0x4000 | (seq & 0xFFF), 0x8000 | (seq & 0xFFF), seq
+                seq,
+                seq & 0xFFFF,
+                0x4000 | (seq & 0xFFF),
+                0x8000 | (seq & 0xFFF),
+                seq
             ),
             EngineKind::SystemdNspawn => format!("{name}.machine"),
         }
@@ -158,7 +165,13 @@ impl ContainerRuntime {
         // Container runtimes mount everything private so host mounts do not
         // leak in and container mounts do not leak out (paper §2.3).
         k.make_rprivate(pid)?;
-        k.mount_fs(pid, &host_dir, rootfs, CacheMode::native(), MountFlags::default())?;
+        k.mount_fs(
+            pid,
+            &host_dir,
+            rootfs,
+            CacheMode::native(),
+            MountFlags::default(),
+        )?;
         k.pivot_root(pid, &host_dir)?;
         k.mount_procfs(pid, "/proc")?;
         devfs::mount_devfs(k, pid, "/dev", DevId(dev.0 + 500_000))?;
@@ -200,7 +213,9 @@ impl ContainerRuntime {
             cgroup: cg.0.clone(),
             engine: self.kind,
         };
-        self.containers.lock().insert(name.to_string(), container.clone());
+        self.containers
+            .lock()
+            .insert(name.to_string(), container.clone());
         Ok(container)
     }
 
@@ -220,7 +235,11 @@ impl ContainerRuntime {
 
     /// Looks a container up by name.
     pub fn get(&self, name: &str) -> SysResult<Container> {
-        self.containers.lock().get(name).cloned().ok_or(Errno::ESRCH)
+        self.containers
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or(Errno::ESRCH)
     }
 
     /// Lists containers (sorted by name).
@@ -232,11 +251,7 @@ impl ContainerRuntime {
 
     /// Stops and removes a container.
     pub fn stop(&self, name: &str) -> SysResult<()> {
-        let container = self
-            .containers
-            .lock()
-            .remove(name)
-            .ok_or(Errno::ESRCH)?;
+        let container = self.containers.lock().remove(name).ok_or(Errno::ESRCH)?;
         self.kernel.exit(container.pid)?;
         self.kernel.reap(container.pid)?;
         Ok(())
@@ -266,7 +281,9 @@ pub fn boot_host(clock: cntr_types::SimClock) -> Kernel {
         CacheMode::native(),
         cntr_kernel::kernel::KernelConfig::default(),
     );
-    for d in ["/proc", "/dev", "/etc", "/var", "/var/lib", "/tmp", "/usr", "/usr/bin", "/run"] {
+    for d in [
+        "/proc", "/dev", "/etc", "/var", "/var/lib", "/tmp", "/usr", "/usr/bin", "/run",
+    ] {
         k.mkdir(Pid::INIT, d, Mode::RWXR_XR_X).expect("fresh root");
     }
     k.mount_procfs(Pid::INIT, "/proc").expect("fresh root");

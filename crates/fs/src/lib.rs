@@ -23,6 +23,4 @@ mod traits;
 
 pub use diskfs::DiskFs;
 pub use memfs::MemFs;
-pub use traits::{
-    FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags, MAX_NAME_LEN,
-};
+pub use traits::{FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags, MAX_NAME_LEN};

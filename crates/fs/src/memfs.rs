@@ -40,9 +40,7 @@ pub fn memfs_with_capacity(dev_id: DevId, clock: SimClock, capacity: u64) -> Arc
 mod tests {
     use super::*;
     use crate::traits::{Filesystem, FsContext, XattrFlags};
-    use cntr_types::{
-        Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Uid,
-    };
+    use cntr_types::{Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Uid};
 
     fn fs() -> Arc<MemFs> {
         memfs(DevId(1), SimClock::new())
@@ -337,12 +335,8 @@ mod tests {
         let f = fs();
         let ino = create_file(&f, Ino::ROOT, "s");
         // Owner uid 1000, file group 2000; caller in group 3000 only.
-        f.setattr(
-            ino,
-            &SetAttr::chown(Uid(1000), Gid(2000)),
-            &root_ctx(),
-        )
-        .unwrap();
+        f.setattr(ino, &SetAttr::chown(Uid(1000), Gid(2000)), &root_ctx())
+            .unwrap();
         let mut ctx = FsContext::user(1000, 3000);
         ctx.cap_fsetid = false;
         let st = f

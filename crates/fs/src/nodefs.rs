@@ -13,7 +13,7 @@ use crate::traits::{
 };
 use cntr_blockdev::BLOCK_SIZE;
 use cntr_types::{
-    Dirent, DevId, Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, SimClock,
+    DevId, Dirent, Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, SimClock,
     Stat, Statfs, SysResult, Timespec, Uid,
 };
 use parking_lot::Mutex;
@@ -235,9 +235,7 @@ impl<S: FileStore> NodeFs<S> {
         let kind = match ftype {
             FileType::Regular => NodeKind::File(S::Content::default()),
             FileType::Directory => NodeKind::Dir(BTreeMap::new()),
-            FileType::Symlink => {
-                NodeKind::Symlink(symlink_target.unwrap_or_default().to_string())
-            }
+            FileType::Symlink => NodeKind::Symlink(symlink_target.unwrap_or_default().to_string()),
             _ => NodeKind::Other,
         };
         let nlink = if ftype == FileType::Directory { 2 } else { 1 };
@@ -305,11 +303,7 @@ impl<S: FileStore> NodeFs<S> {
     }
 
     /// True if `ancestor` is on the path from `node` up to the root.
-    fn is_ancestor(
-        st: &FsState<S::Content>,
-        ancestor: Ino,
-        mut node: Ino,
-    ) -> bool {
+    fn is_ancestor(st: &FsState<S::Content>, ancestor: Ino, mut node: Ino) -> bool {
         // Walk up via linear search of parents (directories have exactly one
         // parent; the map is small enough that a reverse scan is fine).
         let mut hops = 0;
@@ -414,11 +408,7 @@ impl<S: FileStore> Filesystem for NodeFs<S> {
             // CAP_FSETID) must not leave the setgid bit set. CntrFS delegates
             // this decision to the backing filesystem under the *server's*
             // identity and therefore misses it.
-            if native_clear
-                && mode.is_setgid()
-                && !ctx.cap_fsetid
-                && !ctx.in_group(node.meta.gid)
-            {
+            if native_clear && mode.is_setgid() && !ctx.cap_fsetid && !ctx.in_group(node.meta.gid) {
                 mode = mode.clear_setgid();
             }
             node.meta.mode = mode;
@@ -799,8 +789,7 @@ impl<S: FileStore> Filesystem for NodeFs<S> {
                     let exact_after = {
                         // Compute precisely only when near the limit.
                         let end = offset + data.len() as u64;
-                        let pages = end.div_ceil(BLOCK_SIZE as u64)
-                            - offset / BLOCK_SIZE as u64;
+                        let pages = end.div_ceil(BLOCK_SIZE as u64) - offset / BLOCK_SIZE as u64;
                         before + pages * BLOCK_SIZE as u64
                     };
                     if used.saturating_sub(before) + exact_after > self.capacity {
@@ -880,9 +869,7 @@ impl<S: FileStore> Filesystem for NodeFs<S> {
         let node = st.inodes.get_mut(&ino).ok_or(Errno::ENOENT)?;
         match flags {
             XattrFlags::Create if node.xattrs.contains_key(name) => return Err(Errno::EEXIST),
-            XattrFlags::Replace if !node.xattrs.contains_key(name) => {
-                return Err(Errno::ENODATA)
-            }
+            XattrFlags::Replace if !node.xattrs.contains_key(name) => return Err(Errno::ENODATA),
             _ => {}
         }
         node.xattrs.insert(name.to_string(), value.to_vec());

@@ -62,11 +62,12 @@ impl FileStore for MemStore {
     type Content = MemContent;
 
     fn read(&self, content: &MemContent, offset: u64, buf: &mut [u8]) {
-        for_each_page(offset, buf.len(), |page_no, in_page, pos, n| {
-            match content.pages.get(&page_no) {
-                Some(p) => buf[pos..pos + n].copy_from_slice(&p[in_page..in_page + n]),
-                None => buf[pos..pos + n].fill(0),
-            }
+        for_each_page(offset, buf.len(), |page_no, in_page, pos, n| match content
+            .pages
+            .get(&page_no)
+        {
+            Some(p) => buf[pos..pos + n].copy_from_slice(&p[in_page..in_page + n]),
+            None => buf[pos..pos + n].fill(0),
         });
     }
 
@@ -80,9 +81,9 @@ impl FileStore for MemStore {
     fn truncate(&self, content: &mut MemContent, new_len: u64) {
         let boundary_page = new_len / BLOCK_SIZE as u64;
         let in_page = (new_len % BLOCK_SIZE as u64) as usize;
-        content.pages.retain(|&p, _| {
-            p < boundary_page || (p == boundary_page && in_page > 0)
-        });
+        content
+            .pages
+            .retain(|&p, _| p < boundary_page || (p == boundary_page && in_page > 0));
         if in_page > 0 {
             if let Some(p) = content.pages.get_mut(&boundary_page) {
                 p[in_page..].fill(0);
@@ -165,22 +166,24 @@ impl FileStore for DiskStore {
     type Content = DiskContent;
 
     fn read(&self, content: &DiskContent, offset: u64, buf: &mut [u8]) {
-        for_each_page(offset, buf.len(), |page_no, in_page, pos, n| {
-            match content.extents.get(&page_no) {
-                Some(&block) => {
-                    let dev_off = block * BLOCK_SIZE as u64 + in_page as u64;
-                    self.device.read(dev_off, &mut buf[pos..pos + n]);
-                }
-                None => buf[pos..pos + n].fill(0),
+        for_each_page(offset, buf.len(), |page_no, in_page, pos, n| match content
+            .extents
+            .get(&page_no)
+        {
+            Some(&block) => {
+                let dev_off = block * BLOCK_SIZE as u64 + in_page as u64;
+                self.device.read(dev_off, &mut buf[pos..pos + n]);
             }
+            None => buf[pos..pos + n].fill(0),
         });
     }
 
     fn write(&self, content: &mut DiskContent, offset: u64, data: &[u8]) {
         for_each_page(offset, data.len(), |page_no, in_page, pos, n| {
-            let block = *content.extents.entry(page_no).or_insert_with(|| {
-                self.alloc.lock().alloc()
-            });
+            let block = *content
+                .extents
+                .entry(page_no)
+                .or_insert_with(|| self.alloc.lock().alloc());
             let dev_off = block * BLOCK_SIZE as u64 + in_page as u64;
             self.device.write(dev_off, &data[pos..pos + n]);
         });
@@ -197,7 +200,8 @@ impl FileStore for DiskStore {
             .collect();
         for p in doomed {
             if let Some(block) = content.extents.remove(&p) {
-                self.device.discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
+                self.device
+                    .discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
                 alloc.release(block);
             }
         }
@@ -214,7 +218,8 @@ impl FileStore for DiskStore {
     fn dealloc(&self, content: &mut DiskContent) {
         let mut alloc = self.alloc.lock();
         for (_, block) in std::mem::take(&mut content.extents) {
-            self.device.discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
+            self.device
+                .discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
             alloc.release(block);
         }
     }
@@ -223,7 +228,8 @@ impl FileStore for DiskStore {
         let mut alloc = self.alloc.lock();
         punch_hole_pages(offset, len, |page_no| {
             if let Some(block) = content.extents.remove(&page_no) {
-                self.device.discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
+                self.device
+                    .discard(block * BLOCK_SIZE as u64, BLOCK_SIZE as u64);
                 alloc.release(block);
             }
         });
@@ -277,11 +283,7 @@ fn punch_hole_pages(offset: u64, len: u64, mut f: impl FnMut(u64)) {
 
 /// Calls `f(page_no, in-page range)` for the partial pages at the edges of a
 /// hole.
-fn zero_partial_edges(
-    offset: u64,
-    len: u64,
-    mut f: impl FnMut(u64, std::ops::Range<usize>),
-) {
+fn zero_partial_edges(offset: u64, len: u64, mut f: impl FnMut(u64, std::ops::Range<usize>)) {
     let end = offset + len;
     let first_page = offset / BLOCK_SIZE as u64;
     let last_page = end / BLOCK_SIZE as u64;

@@ -1,7 +1,7 @@
 //! The inode-level filesystem interface.
 
 use cntr_types::{
-    Dirent, DevId, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat, Statfs,
+    DevId, Dirent, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat, Statfs,
     SysResult, Uid,
 };
 
@@ -247,8 +247,14 @@ pub trait Filesystem: Send + Sync {
     fn removexattr(&self, ino: Ino, name: &str) -> SysResult<()>;
 
     /// Manipulates file space.
-    fn fallocate(&self, ino: Ino, fh: Fh, offset: u64, len: u64, mode: FallocateMode)
-        -> SysResult<()>;
+    fn fallocate(
+        &self,
+        ino: Ino,
+        fh: Fh,
+        offset: u64,
+        len: u64,
+        mode: FallocateMode,
+    ) -> SysResult<()>;
 
     /// Drops `nlookup` references the kernel held on `ino` (FUSE `FORGET`).
     /// A no-op for ordinary filesystems.

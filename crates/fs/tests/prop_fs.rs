@@ -29,7 +29,11 @@ fn name(slot: u8) -> String {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..8).prop_map(Op::Create),
-        (0u8..8, 0u16..20000, proptest::collection::vec(any::<u8>(), 0..512))
+        (
+            0u8..8,
+            0u16..20000,
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
             .prop_map(|(s, o, d)| Op::WriteAt(s, o, d)),
         (0u8..8, 0u16..20000).prop_map(|(s, l)| Op::Truncate(s, l)),
         (0u8..8).prop_map(Op::Unlink),
@@ -65,7 +69,10 @@ fn apply(fs: &Arc<MemFs>, oracle: &mut HashMap<String, Vec<u8>>, op: &Op) {
                     oracle.insert(n, Vec::new());
                 }
                 Err(e) => {
-                    assert!(oracle.contains_key(&n), "create failed ({e}) but oracle lacks {n}");
+                    assert!(
+                        oracle.contains_key(&n),
+                        "create failed ({e}) but oracle lacks {n}"
+                    );
                 }
             }
         }

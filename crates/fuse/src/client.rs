@@ -28,7 +28,7 @@ use crate::proto::{InitFlags, Reply, Request, RequestCtx};
 use bytes::Bytes;
 use cntr_fs::{FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags};
 use cntr_types::{
-    CostModel, Dirent, DevId, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr,
+    CostModel, DevId, Dirent, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr,
     SimClock, Stat, Statfs, SysResult,
 };
 use parking_lot::Mutex;
@@ -759,7 +759,14 @@ mod tests {
     fn basic_file_lifecycle_over_fuse() {
         let (fs, _) = mounted(FuseConfig::optimized());
         let st = fs
-            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "f",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
         fs.write(st.ino, fh, 0, b"over the wire").unwrap();
@@ -774,7 +781,8 @@ mod tests {
     #[test]
     fn entry_cache_absorbs_repeat_lookups() {
         let (fs, _) = mounted(FuseConfig::optimized());
-        fs.mkdir(Ino::ROOT, "d", Mode::RWXR_XR_X, &root_ctx()).unwrap();
+        fs.mkdir(Ino::ROOT, "d", Mode::RWXR_XR_X, &root_ctx())
+            .unwrap();
         for _ in 0..10 {
             fs.lookup(Ino::ROOT, "d").unwrap();
         }
@@ -788,7 +796,14 @@ mod tests {
     fn readahead_batches_sequential_reads() {
         let (fs, _) = mounted(FuseConfig::optimized());
         let st = fs
-            .mknod(Ino::ROOT, "big", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "big",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
         fs.write(st.ino, fh, 0, &vec![7u8; 256 * 1024]).unwrap();
@@ -807,7 +822,14 @@ mod tests {
     fn no_async_read_means_per_call_requests() {
         let (fs, _) = mounted(FuseConfig::unoptimized());
         let st = fs
-            .mknod(Ino::ROOT, "big", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "big",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
         fs.write(st.ino, fh, 0, &vec![7u8; 64 * 1024]).unwrap();
@@ -849,7 +871,14 @@ mod tests {
     fn o_direct_is_rejected() {
         let (fs, _) = mounted(FuseConfig::optimized());
         let st = fs
-            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "f",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         assert_eq!(
             fs.open(st.ino, OpenFlags::RDONLY.with(OpenFlags::DIRECT)),
@@ -908,7 +937,14 @@ mod tests {
         let run = |flags: InitFlags| {
             let (fs, clock) = mounted(FuseConfig::optimized().with_flags(flags));
             let st = fs
-                .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+                .mknod(
+                    Ino::ROOT,
+                    "f",
+                    FileType::Regular,
+                    Mode::RW_R__R__,
+                    0,
+                    &root_ctx(),
+                )
                 .unwrap();
             let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
             fs.write(st.ino, fh, 0, &vec![1u8; 1 << 20]).unwrap();
@@ -956,7 +992,14 @@ mod tests {
         let run = |workers: usize| {
             let (fs, clock) = mounted(FuseConfig::optimized().with_workers(workers));
             let st = fs
-                .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+                .mknod(
+                    Ino::ROOT,
+                    "f",
+                    FileType::Regular,
+                    Mode::RW_R__R__,
+                    0,
+                    &root_ctx(),
+                )
                 .unwrap();
             let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
             fs.write(st.ino, fh, 0, &vec![1u8; 1 << 20]).unwrap();
@@ -973,14 +1016,24 @@ mod tests {
         let t16 = run(16);
         assert!(t16 > t1, "16 workers must cost more sync: {t1} vs {t16}");
         // But modestly — single-digit percent territory (Figure 4).
-        assert!(t16 < t1 * 13 / 10, "overhead should stay mild: {t1} vs {t16}");
+        assert!(
+            t16 < t1 * 13 / 10,
+            "overhead should stay mild: {t1} vs {t16}"
+        );
     }
 
     #[test]
     fn setattr_updates_cache_and_timestamps_flow() {
         let (fs, clock) = mounted(FuseConfig::optimized());
         let st = fs
-            .mknod(Ino::ROOT, "t", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "t",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         clock.advance(5000);
         let updated = fs
@@ -1018,7 +1071,14 @@ mod tests {
         )
         .unwrap();
         let st = fs
-            .mknod(Ino::ROOT, "f", FileType::Regular, Mode::RW_R__R__, 0, &root_ctx())
+            .mknod(
+                Ino::ROOT,
+                "f",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &root_ctx(),
+            )
             .unwrap();
         let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
         fs.write(st.ino, fh, 0, b"threads").unwrap();

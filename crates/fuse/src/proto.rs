@@ -6,8 +6,9 @@
 //! `splice(2)` achieves on the real `/dev/fuse`.
 
 use bytes::Bytes;
-use cntr_types::{Dirent, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat,
-    Statfs};
+use cntr_types::{
+    Dirent, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat, Statfs,
+};
 
 /// Size of a FUSE request/reply header (`fuse_in_header` is 40 bytes;
 /// we charge a round 80 for header plus typical op body).

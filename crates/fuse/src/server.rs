@@ -96,12 +96,10 @@ impl FuseHandler for FsHandler {
             Request::Init { wanted } => Reply::Init {
                 granted: wanted.intersect(self.supported),
             },
-            Request::Lookup { parent, name, .. } => {
-                reply(self.fs.lookup(parent, &name), |st| {
-                    self.remember(st.ino);
-                    Reply::Entry(st)
-                })
-            }
+            Request::Lookup { parent, name, .. } => reply(self.fs.lookup(parent, &name), |st| {
+                self.remember(st.ino);
+                Reply::Entry(st)
+            }),
             Request::Forget { ino, nlookup } => {
                 self.forget(ino, nlookup);
                 Reply::Ok
@@ -137,7 +135,8 @@ impl FuseHandler for FsHandler {
                 rdev,
                 ctx,
             } => reply(
-                self.fs.mknod(parent, &name, ftype, mode, rdev, &ctx_of(ctx)),
+                self.fs
+                    .mknod(parent, &name, ftype, mode, rdev, &ctx_of(ctx)),
                 |st| {
                     self.remember(st.ino);
                     Reply::Entry(st)
@@ -198,18 +197,18 @@ impl FuseHandler for FsHandler {
                 fh,
                 offset,
                 data,
-            } => reply(
-                self.fs.write(ino, cntr_fs::Fh(fh), offset, &data),
-                |n| Reply::Written(n as u32),
-            ),
+            } => reply(self.fs.write(ino, cntr_fs::Fh(fh), offset, &data), |n| {
+                Reply::Written(n as u32)
+            }),
             Request::Statfs => reply(self.fs.statfs(), Reply::Statfs),
             Request::Release { ino, fh } => {
                 reply(self.fs.release(ino, cntr_fs::Fh(fh)), |()| Reply::Ok)
             }
-            Request::Fsync { ino, fh, datasync } => reply(
-                self.fs.fsync(ino, cntr_fs::Fh(fh), datasync),
-                |()| Reply::Ok,
-            ),
+            Request::Fsync { ino, fh, datasync } => {
+                reply(self.fs.fsync(ino, cntr_fs::Fh(fh), datasync), |()| {
+                    Reply::Ok
+                })
+            }
             Request::Readdir { ino } => reply(self.fs.readdir(ino), Reply::Dirents),
             Request::Getxattr { ino, name } => reply(self.fs.getxattr(ino, &name), Reply::Xattr),
             Request::Setxattr {

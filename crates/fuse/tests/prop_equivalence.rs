@@ -31,7 +31,11 @@ fn name(slot: u8) -> String {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..6).prop_map(Op::Create),
-        (0u8..6, 0u16..8192, proptest::collection::vec(any::<u8>(), 1..256))
+        (
+            0u8..6,
+            0u16..8192,
+            proptest::collection::vec(any::<u8>(), 1..256)
+        )
             .prop_map(|(s, o, d)| Op::Write(s, o, d)),
         (0u8..6).prop_map(Op::ReadAll),
         (0u8..6).prop_map(Op::Unlink),

@@ -87,10 +87,7 @@ impl CgroupTree {
         if !node.members.is_empty() {
             return Err(Errno::EBUSY);
         }
-        let has_children = self
-            .nodes
-            .keys()
-            .any(|p| p != path && p.is_within(path));
+        let has_children = self.nodes.keys().any(|p| p != path && p.is_within(path));
         if has_children {
             return Err(Errno::EBUSY);
         }

@@ -82,13 +82,7 @@ pub fn new_devfs(dev_id: DevId, clock: SimClock) -> Arc<MemFs> {
 /// Mounts a fresh devtmpfs at `path`.
 pub fn mount_devfs(kernel: &Kernel, pid: Pid, path: &str, dev_id: DevId) -> SysResult<()> {
     let fs = new_devfs(dev_id, kernel.clock().clone());
-    kernel.mount_fs(
-        pid,
-        path,
-        fs,
-        CacheMode::native(),
-        MountFlags::default(),
-    )?;
+    kernel.mount_fs(pid, path, fs, CacheMode::native(), MountFlags::default())?;
     Ok(())
 }
 
@@ -106,17 +100,19 @@ mod tests {
         k.mkdir(Pid::INIT, "/dev", Mode::RWXR_XR_X).unwrap();
         populate_dev(&k, Pid::INIT, "/dev").unwrap();
         let fd = k
-            .open(Pid::INIT, "/dev/urandom", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .open(
+                Pid::INIT,
+                "/dev/urandom",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
             .unwrap();
         let mut a = [0u8; 16];
         k.read_fd(Pid::INIT, fd, &mut a).unwrap();
         assert!(a.iter().any(|&b| b != 0), "urandom produces bytes");
         k.close(Pid::INIT, fd).unwrap();
         assert!(k.stat(Pid::INIT, "/dev/pts").unwrap().is_dir());
-        assert_eq!(
-            k.stat(Pid::INIT, "/dev/fuse").unwrap().rdev,
-            nodes::FUSE
-        );
+        assert_eq!(k.stat(Pid::INIT, "/dev/fuse").unwrap().rdev, nodes::FUSE);
     }
 
     #[test]

@@ -438,12 +438,7 @@ impl Kernel {
     pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
         self.charge_syscall();
         let mut st = self.inner.state.lock();
-        let caps = st
-            .processes
-            .get(&pid)
-            .ok_or(Errno::ESRCH)?
-            .creds
-            .caps;
+        let caps = st.processes.get(&pid).ok_or(Errno::ESRCH)?.creds.caps;
         if !caps.has(Capability::SysAdmin) {
             return Err(Errno::EPERM);
         }
@@ -770,10 +765,7 @@ mod tests {
         let mut creds = Credentials::host_root();
         creds.caps.remove(Capability::SysAdmin);
         k.set_creds(child, creds).unwrap();
-        assert_eq!(
-            k.unshare(child, &[NamespaceKind::Mount]),
-            Err(Errno::EPERM)
-        );
+        assert_eq!(k.unshare(child, &[NamespaceKind::Mount]), Err(Errno::EPERM));
     }
 
     #[test]
@@ -804,7 +796,10 @@ mod tests {
         env.insert("ONLY".to_string(), "this".to_string());
         k.set_environ(Pid::INIT, env).unwrap();
         assert_eq!(k.getenv(Pid::INIT, "PATH").unwrap(), None);
-        assert_eq!(k.getenv(Pid::INIT, "ONLY").unwrap().as_deref(), Some("this"));
+        assert_eq!(
+            k.getenv(Pid::INIT, "ONLY").unwrap().as_deref(),
+            Some("this")
+        );
     }
 
     #[test]

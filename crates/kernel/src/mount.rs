@@ -234,12 +234,7 @@ impl MountNs {
 
     /// Moves a mount to a new mountpoint (`mount --move`), as CNTR does when
     /// relocating the application's mounts under `/var/lib/cntr`.
-    pub fn move_mount(
-        &mut self,
-        id: MountId,
-        new_parent: MountId,
-        new_ino: Ino,
-    ) -> SysResult<()> {
+    pub fn move_mount(&mut self, id: MountId, new_parent: MountId, new_ino: Ino) -> SysResult<()> {
         if id == self.root || !self.mounts.contains_key(&new_parent) {
             return Err(Errno::EINVAL);
         }
@@ -450,7 +445,8 @@ mod tests {
             MountFlags::default(),
         )
         .unwrap();
-        ns.set_propagation(MountId(2), Propagation::Shared(7)).unwrap();
+        ns.set_propagation(MountId(2), Propagation::Shared(7))
+            .unwrap();
         let clone = ns.clone_for(NamespaceId(9));
         assert_eq!(clone.len(), 2);
         assert_eq!(clone.id, NamespaceId(9));

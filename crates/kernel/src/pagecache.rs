@@ -196,7 +196,11 @@ impl PageCache {
 
     /// The mtime of the most recent buffered write, if any data is pending.
     pub fn pending_mtime(&self, dev: DevId, ino: Ino) -> Option<cntr_types::Timespec> {
-        self.state.lock().files.get(&(dev, ino)).and_then(|f| f.pending_mtime)
+        self.state
+            .lock()
+            .files
+            .get(&(dev, ino))
+            .and_then(|f| f.pending_mtime)
     }
 
     /// Drops cached pages fully inside `[offset, offset+len)` — used after a
@@ -396,14 +400,7 @@ impl PageCache {
     }
 
     /// Updates (or populates) clean cached pages after a write-through.
-    fn update_clean_pages(
-        &self,
-        dev: DevId,
-        ino: Ino,
-        mode: CacheMode,
-        offset: u64,
-        data: &[u8],
-    ) {
+    fn update_clean_pages(&self, dev: DevId, ino: Ino, mode: CacheMode, offset: u64, data: &[u8]) {
         let mut done = 0usize;
         let mut st = self.state.lock();
         while done < data.len() {

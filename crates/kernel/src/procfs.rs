@@ -14,7 +14,7 @@ use crate::kernel::KernelInner;
 use crate::ns::{NamespaceKind, ALL_KINDS};
 use cntr_fs::{FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags};
 use cntr_types::{
-    Dirent, DevId, Errno, FileType, Gid, Ino, Mode, OpenFlags, Pid, RenameFlags, SetAttr, Stat,
+    DevId, Dirent, Errno, FileType, Gid, Ino, Mode, OpenFlags, Pid, RenameFlags, SetAttr, Stat,
     Statfs, SysResult, Timespec, Uid,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -174,9 +174,7 @@ impl ProcFs {
             .ok()
             .and_then(|k| {
                 let st = k.state.lock();
-                st.processes
-                    .get(&pid)
-                    .map(|p| (p.creds.uid, p.creds.gid))
+                st.processes.get(&pid).map(|p| (p.creds.uid, p.creds.gid))
             })
             .unwrap_or((Uid::ROOT, Gid::ROOT))
     }
@@ -482,7 +480,12 @@ mod tests {
 
         // Read /proc/1/status through the VFS.
         let fd = k
-            .open(Pid::INIT, "/proc/1/status", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .open(
+                Pid::INIT,
+                "/proc/1/status",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
             .unwrap();
         let mut buf = vec![0u8; 4096];
         let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
@@ -493,7 +496,12 @@ mod tests {
 
         // environ contains the variable.
         let fd = k
-            .open(Pid::INIT, "/proc/1/environ", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .open(
+                Pid::INIT,
+                "/proc/1/environ",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
             .unwrap();
         let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
         let env = String::from_utf8_lossy(&buf[..n]).to_string();

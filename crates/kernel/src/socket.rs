@@ -46,7 +46,10 @@ impl SocketEnd {
                 conn: Arc::clone(&conn),
                 side: Side::A,
             },
-            SocketEnd { conn, side: Side::B },
+            SocketEnd {
+                conn,
+                side: Side::B,
+            },
         )
     }
 

@@ -14,8 +14,8 @@ use crate::process::{FdEntry, FileKind, OpenFile, VfsLoc};
 use crate::socket::{SocketEnd, SocketListener};
 use cntr_fs::{Filesystem, FsContext, XattrFlags};
 use cntr_types::{
-    Capability, Dirent, DevId, Errno, FileType, Gid, Ino, Mode, OpenFlags, Pid,
-    RenameFlags, SetAttr, Stat, SysResult, Uid,
+    Capability, DevId, Dirent, Errno, FileType, Gid, Ino, Mode, OpenFlags, Pid, RenameFlags,
+    SetAttr, Stat, SysResult, Uid,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -130,11 +130,7 @@ impl Kernel {
     fn snapshot_ns(&self, pid: Pid) -> SysResult<(MountNs, VfsLoc, VfsLoc)> {
         let st = self.inner.state.lock();
         let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
-        let ns = st
-            .mount_ns
-            .get(&p.ns.mount)
-            .ok_or(Errno::EINVAL)?
-            .clone();
+        let ns = st.mount_ns.get(&p.ns.mount).ok_or(Errno::EINVAL)?.clone();
         Ok((ns, p.root, p.cwd))
     }
 
@@ -155,7 +151,11 @@ impl Kernel {
             w.cur = Self::cross_mounts(&w.ns, w.root);
             w.stack.clear();
         }
-        components.extend(path.split('/').filter(|c| !c.is_empty() && *c != ".").map(String::from));
+        components.extend(
+            path.split('/')
+                .filter(|c| !c.is_empty() && *c != ".")
+                .map(String::from),
+        );
 
         let mut i = 0;
         while i < components.len() {
@@ -346,16 +346,22 @@ impl Kernel {
                 self.fanotify_record(dev, resolved.loc.ino, path);
                 // FOPEN_KEEP_CACHE off: invalidate this file's pages on open.
                 if !resolved.cache.keep_cache {
-                    self.inner.page_cache.invalidate_file(dev, resolved.loc.ino)?;
+                    self.inner
+                        .page_cache
+                        .invalidate_file(dev, resolved.loc.ino)?;
                 }
                 // O_DIRECT coherency: flush and drop buffered pages so
                 // direct I/O observes (and produces) on-disk state.
                 if flags.contains(OpenFlags::DIRECT) {
-                    self.inner.page_cache.invalidate_file(dev, resolved.loc.ino)?;
+                    self.inner
+                        .page_cache
+                        .invalidate_file(dev, resolved.loc.ino)?;
                 }
                 let fh = resolved.fs.open(resolved.loc.ino, flags)?;
                 if flags.contains(OpenFlags::TRUNC) && flags.mode.writable() {
-                    self.inner.page_cache.truncate_file(dev, resolved.loc.ino, 0);
+                    self.inner
+                        .page_cache
+                        .truncate_file(dev, resolved.loc.ino, 0);
                 }
                 FileKind::Regular {
                     mount: resolved.loc.mount,
@@ -392,14 +398,12 @@ impl Kernel {
         let entry = self.with_proc_mut(pid, |p| p.fds.remove(&fd).ok_or(Errno::EBADF))?;
         // Pipe ends get their half-close semantics.
         match &entry.file.kind {
-            FileKind::PipeRead(p)
-                if Arc::strong_count(&entry.file) == 1 => {
-                    p.close_read();
-                }
-            FileKind::PipeWrite(p)
-                if Arc::strong_count(&entry.file) == 1 => {
-                    p.close_write();
-                }
+            FileKind::PipeRead(p) if Arc::strong_count(&entry.file) == 1 => {
+                p.close_read();
+            }
+            FileKind::PipeWrite(p) if Arc::strong_count(&entry.file) == 1 => {
+                p.close_write();
+            }
             _ => {}
         }
         Ok(())
@@ -448,7 +452,10 @@ impl Kernel {
         self.charge_syscall();
         match &file.kind {
             FileKind::Regular {
-                dev, cache, file: fref, ..
+                dev,
+                cache,
+                file: fref,
+                ..
             } => {
                 if !file.flags.mode.readable() {
                     return Err(Errno::EBADF);
@@ -457,7 +464,10 @@ impl Kernel {
                     return fref.fs.read(fref.ino, fref.fh, offset, buf);
                 }
                 let fs_size = fref.fs.getattr(fref.ino)?.size;
-                let size = self.inner.page_cache.effective_size(*dev, fref.ino, fs_size);
+                let size = self
+                    .inner
+                    .page_cache
+                    .effective_size(*dev, fref.ino, fs_size);
                 if offset >= size {
                     return Ok(0);
                 }
@@ -498,9 +508,13 @@ impl Kernel {
         *off = if file.flags.contains(OpenFlags::APPEND) {
             // Append mode: offset tracks EOF after the write.
             match &file.kind {
-                FileKind::Regular { dev, file: fref, .. } => {
+                FileKind::Regular {
+                    dev, file: fref, ..
+                } => {
                     let fs_size = fref.fs.getattr(fref.ino)?.size;
-                    self.inner.page_cache.effective_size(*dev, fref.ino, fs_size)
+                    self.inner
+                        .page_cache
+                        .effective_size(*dev, fref.ino, fs_size)
                 }
                 _ => *off + n as u64,
             }
@@ -526,14 +540,20 @@ impl Kernel {
         self.charge_syscall();
         match &file.kind {
             FileKind::Regular {
-                dev, cache, file: fref, ..
+                dev,
+                cache,
+                file: fref,
+                ..
             } => {
                 if !file.flags.mode.writable() {
                     return Err(Errno::EBADF);
                 }
                 let fs_stat = fref.fs.getattr(fref.ino)?;
                 let fs_size = fs_stat.size;
-                let eff = self.inner.page_cache.effective_size(*dev, fref.ino, fs_size);
+                let eff = self
+                    .inner
+                    .page_cache
+                    .effective_size(*dev, fref.ino, fs_size);
                 let offset = if file.flags.contains(OpenFlags::APPEND) {
                     eff
                 } else {
@@ -545,11 +565,9 @@ impl Kernel {
                 if fs_stat.mode.is_setuid() || fs_stat.mode.is_setgid() {
                     let cleared = fs_stat.mode.clear_suid_sgid();
                     let creds = self.creds(pid)?;
-                    let _ = fref.fs.setattr(
-                        fref.ino,
-                        &SetAttr::chmod(cleared),
-                        &fs_context(&creds),
-                    );
+                    let _ =
+                        fref.fs
+                            .setattr(fref.ino, &SetAttr::chmod(cleared), &fs_context(&creds));
                 }
                 // RLIMIT_FSIZE: enforced only when the filesystem replays the
                 // caller's limits (CntrFS does not — xfstests #228).
@@ -592,9 +610,13 @@ impl Kernel {
         self.charge_syscall();
         let file = self.get_file(pid, fd)?;
         let size = match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => {
                 let fs_size = fref.fs.getattr(fref.ino)?.size;
-                self.inner.page_cache.effective_size(*dev, fref.ino, fs_size)
+                self.inner
+                    .page_cache
+                    .effective_size(*dev, fref.ino, fs_size)
             }
             FileKind::Directory { .. } => 0,
             _ => return Err(Errno::ESPIPE),
@@ -618,9 +640,9 @@ impl Kernel {
         self.charge_syscall();
         let file = self.get_file(pid, fd)?;
         match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
-                self.inner.page_cache.fsync(*dev, fref, datasync)
-            }
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => self.inner.page_cache.fsync(*dev, fref, datasync),
             _ => Err(Errno::EINVAL),
         }
     }
@@ -634,9 +656,9 @@ impl Kernel {
         self.charge_syscall();
         let file = self.get_file(pid, fd)?;
         match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
-                self.inner.page_cache.flush_file(*dev, fref.ino)
-            }
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => self.inner.page_cache.flush_file(*dev, fref.ino),
             _ => Err(Errno::EINVAL),
         }
     }
@@ -678,7 +700,9 @@ impl Kernel {
         self.charge_syscall();
         let file = self.get_file(pid, fd)?;
         match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => {
                 let mut st = fref.fs.getattr(fref.ino)?;
                 st.size = self.inner.page_cache.effective_size(*dev, st.ino, st.size);
                 if let Some(t) = self.inner.page_cache.pending_mtime(*dev, st.ino) {
@@ -731,7 +755,14 @@ impl Kernel {
         }
         parent
             .fs
-            .mknod(parent.loc.ino, &name, ftype, mode, rdev, &fs_context(&creds))
+            .mknod(
+                parent.loc.ino,
+                &name,
+                ftype,
+                mode,
+                rdev,
+                &fs_context(&creds),
+            )
             .map(|_| ())
     }
 
@@ -886,7 +917,9 @@ impl Kernel {
         let creds = self.creds(pid)?;
         let file = self.get_file(pid, fd)?;
         match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => {
                 if !file.flags.mode.writable() {
                     return Err(Errno::EBADF);
                 }
@@ -925,7 +958,8 @@ impl Kernel {
         if r.readonly {
             return Err(Errno::EROFS);
         }
-        r.fs.setattr(r.loc.ino, attr, &fs_context(&creds)).map(|_| ())
+        r.fs.setattr(r.loc.ino, attr, &fs_context(&creds))
+            .map(|_| ())
     }
 
     /// `access(2)`.
@@ -1028,13 +1062,17 @@ impl Kernel {
         self.charge_syscall();
         let file = self.get_file(pid, fd)?;
         match &file.kind {
-            FileKind::Regular { dev, file: fref, .. } => {
+            FileKind::Regular {
+                dev, file: fref, ..
+            } => {
                 if mode == cntr_fs::FallocateMode::PunchHole {
                     // Flush buffered data first, punch, then drop cached
                     // pages in the range so the hole reads as zeroes.
                     self.inner.page_cache.flush_file(*dev, fref.ino)?;
                     fref.fs.fallocate(fref.ino, fref.fh, offset, len, mode)?;
-                    self.inner.page_cache.drop_range(*dev, fref.ino, offset, len);
+                    self.inner
+                        .page_cache
+                        .drop_range(*dev, fref.ino, offset, len);
                     Ok(())
                 } else {
                     fref.fs.fallocate(fref.ino, fref.fh, offset, len, mode)
@@ -1239,7 +1277,15 @@ impl Kernel {
         st.next_mount = next_id;
         let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
         for (id, m) in replicas {
-            ns.add_mount(id, m.fs, m.root_ino, m.parent.expect("set above").0, m.parent.expect("set above").1, m.cache, m.flags)?;
+            ns.add_mount(
+                id,
+                m.fs,
+                m.root_ino,
+                m.parent.expect("set above").0,
+                m.parent.expect("set above").1,
+                m.cache,
+                m.flags,
+            )?;
         }
         Ok(top)
     }
@@ -1416,9 +1462,7 @@ impl Kernel {
     /// forwarded connection in one process.
     pub fn send_fd(&self, from: Pid, fd: u32, to: Pid) -> SysResult<u32> {
         self.charge_syscall();
-        let entry = self.with_proc(from, |p| {
-            p.fds.get(&fd).cloned().ok_or(Errno::EBADF)
-        })?;
+        let entry = self.with_proc(from, |p| p.fds.get(&fd).cloned().ok_or(Errno::EBADF))?;
         self.with_proc_mut(to, |p| Ok(p.install_fd(entry)))
     }
 
@@ -1539,7 +1583,9 @@ mod tests {
             .unwrap();
         assert_eq!(k.write_fd(P, fd, b"hi there").unwrap(), 8);
         k.close(P, fd).unwrap();
-        let fd = k.open(P, "/hello.txt", OpenFlags::RDONLY, Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/hello.txt", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
         let mut buf = [0u8; 16];
         let n = k.read_fd(P, fd, &mut buf).unwrap();
         assert_eq!(&buf[..n], b"hi there");
@@ -1692,7 +1738,9 @@ mod tests {
     fn readdir_includes_dot_entries() {
         let k = kernel();
         k.mkdir(P, "/d", Mode::RWXR_XR_X).unwrap();
-        let fd = k.open(P, "/d/x", OpenFlags::create(), Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/d/x", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
         k.close(P, fd).unwrap();
         let names: Vec<String> = k
             .readdir(P, "/d")
@@ -1706,7 +1754,9 @@ mod tests {
     #[test]
     fn lseek_whence() {
         let k = kernel();
-        let fd = k.open(P, "/f", OpenFlags::create(), Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/f", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
         k.write_fd(P, fd, b"0123456789").unwrap();
         assert_eq!(k.lseek(P, fd, 2, Whence::Set).unwrap(), 2);
         assert_eq!(k.lseek(P, fd, 3, Whence::Cur).unwrap(), 5);
@@ -1718,15 +1768,31 @@ mod tests {
     fn dev_nodes() {
         let k = kernel();
         k.mkdir(P, "/dev", Mode::RWXR_XR_X).unwrap();
-        k.mknod(P, "/dev/null", FileType::CharDevice, Mode::new(0o666), 0x0103)
+        k.mknod(
+            P,
+            "/dev/null",
+            FileType::CharDevice,
+            Mode::new(0o666),
+            0x0103,
+        )
+        .unwrap();
+        k.mknod(
+            P,
+            "/dev/zero",
+            FileType::CharDevice,
+            Mode::new(0o666),
+            0x0105,
+        )
+        .unwrap();
+        let null = k
+            .open(P, "/dev/null", OpenFlags::RDWR, Mode::RW_R__R__)
             .unwrap();
-        k.mknod(P, "/dev/zero", FileType::CharDevice, Mode::new(0o666), 0x0105)
-            .unwrap();
-        let null = k.open(P, "/dev/null", OpenFlags::RDWR, Mode::RW_R__R__).unwrap();
         assert_eq!(k.write_fd(P, null, b"discard").unwrap(), 7);
         let mut buf = [1u8; 4];
         assert_eq!(k.read_fd(P, null, &mut buf).unwrap(), 0);
-        let zero = k.open(P, "/dev/zero", OpenFlags::RDONLY, Mode::RW_R__R__).unwrap();
+        let zero = k
+            .open(P, "/dev/zero", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
         assert_eq!(k.read_fd(P, zero, &mut buf).unwrap(), 4);
         assert_eq!(buf, [0u8; 4]);
     }
@@ -1735,10 +1801,7 @@ mod tests {
     fn unix_socket_bind_connect() {
         let k = kernel();
         let listener_fd = k.bind_listener(P, "/app.sock").unwrap();
-        assert_eq!(
-            k.stat(P, "/app.sock").unwrap().ftype,
-            FileType::Socket
-        );
+        assert_eq!(k.stat(P, "/app.sock").unwrap().ftype, FileType::Socket);
         let client_fd = k.connect(P, "/app.sock").unwrap();
         let server_fd = k.accept(P, listener_fd).unwrap();
         k.write_fd(P, client_fd, b"query").unwrap();
@@ -1757,7 +1820,9 @@ mod tests {
         let sub = memfs(DevId(2), k.clock().clone());
         k.mount_fs(P, "/mnt", sub, CacheMode::native(), MountFlags::default())
             .unwrap();
-        let fd = k.open(P, "/f", OpenFlags::create(), Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/f", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
         k.close(P, fd).unwrap();
         assert_eq!(
             k.rename(P, "/f", "/mnt/f", RenameFlags::NONE),
@@ -1780,7 +1845,9 @@ mod tests {
             )
             .unwrap();
         k.set_rlimits(P, limits).unwrap();
-        let fd = k.open(P, "/cap", OpenFlags::create(), Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/cap", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
         assert_eq!(k.write_fd(P, fd, &[0u8; 100]).unwrap(), 100);
         assert_eq!(k.write_fd(P, fd, &[0u8; 1]), Err(Errno::EFBIG));
     }
@@ -1819,7 +1886,9 @@ mod tests {
     #[test]
     fn stat_sees_writeback_pending_size() {
         let k = kernel();
-        let fd = k.open(P, "/wb", OpenFlags::create(), Mode::RW_R__R__).unwrap();
+        let fd = k
+            .open(P, "/wb", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
         k.write_fd(P, fd, &[1u8; 5000]).unwrap();
         // Dirty data not yet flushed, but stat must show 5000.
         assert_eq!(k.stat(P, "/wb").unwrap().size, 5000);
@@ -1833,11 +1902,18 @@ mod tests {
         k.mkdir(P, "/shared", Mode::RWXR_XR_X).unwrap();
         k.make_shared(P, "/", 1).unwrap();
         let child = k.fork(P).unwrap();
-        k.unshare(child, &[crate::ns::NamespaceKind::Mount]).unwrap();
+        k.unshare(child, &[crate::ns::NamespaceKind::Mount])
+            .unwrap();
         // Keep the clone's root shared too (clone preserved propagation).
         let sub = memfs(DevId(7), k.clock().clone());
-        k.mount_fs(P, "/shared", sub, CacheMode::native(), MountFlags::default())
-            .unwrap();
+        k.mount_fs(
+            P,
+            "/shared",
+            sub,
+            CacheMode::native(),
+            MountFlags::default(),
+        )
+        .unwrap();
         // The mount propagated into the child's namespace.
         let fd = k
             .open(child, "/shared/x", OpenFlags::create(), Mode::RW_R__R__)
@@ -1852,7 +1928,8 @@ mod tests {
         let k = kernel();
         k.mkdir(P, "/vol", Mode::RWXR_XR_X).unwrap();
         let child = k.fork(P).unwrap();
-        k.unshare(child, &[crate::ns::NamespaceKind::Mount]).unwrap();
+        k.unshare(child, &[crate::ns::NamespaceKind::Mount])
+            .unwrap();
         k.make_rprivate(child).unwrap();
         let sub = memfs(DevId(8), k.clock().clone());
         k.mount_fs(P, "/vol", sub, CacheMode::native(), MountFlags::default())

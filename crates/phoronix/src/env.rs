@@ -52,14 +52,11 @@ impl PerfEnv {
             page_cache_bytes,
             ..KernelConfig::default()
         };
-        let kernel = Kernel::with_clock(
-            clock.clone(),
-            root,
-            CacheMode::native(),
-            config,
-        );
+        let kernel = Kernel::with_clock(clock.clone(), root, CacheMode::native(), config);
         let pid = kernel.fork(Pid::INIT).expect("fork workload proc");
-        kernel.mkdir(pid, "/data", Mode::RWXR_XR_X).expect("mkdir /data");
+        kernel
+            .mkdir(pid, "/data", Mode::RWXR_XR_X)
+            .expect("mkdir /data");
 
         let device = BlockDevice::new_synthetic(DiskModel::gp2(), clock.clone());
         let disk = diskfs_on(DevId(2), clock.clone(), Arc::clone(&device), 100 << 30);
@@ -81,14 +78,9 @@ impl PerfEnv {
                 let server_pid = kernel.fork(Pid::INIT).expect("fork server");
                 let server = CntrfsServer::new(kernel.clone(), server_pid);
                 let transport = InlineTransport::new(server);
-                let client = FuseClientFs::mount(
-                    DevId(0xF00D),
-                    clock,
-                    kernel.cost(),
-                    config,
-                    transport,
-                )
-                .expect("mount cntrfs");
+                let client =
+                    FuseClientFs::mount(DevId(0xF00D), clock, kernel.cost(), config, transport)
+                        .expect("mount cntrfs");
                 let flags = client.effective_flags();
                 let fuse_cache = CacheMode {
                     writeback: flags.writeback_cache,
@@ -96,7 +88,9 @@ impl PerfEnv {
                     synthetic: true,
                 };
                 kernel.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");
-                kernel.mkdir(pid, "/mnt/cntr", Mode::RWXR_XR_X).expect("mkdir");
+                kernel
+                    .mkdir(pid, "/mnt/cntr", Mode::RWXR_XR_X)
+                    .expect("mkdir");
                 kernel
                     .mount_fs(
                         pid,
@@ -215,7 +209,8 @@ impl PerfEnv {
     /// the disk — the configuration Figures 3(d) and 4 measure.
     pub fn drop_client_pages(&self) -> SysResult<()> {
         if let Some(client) = &self.client {
-            self.kernel.drop_caches_for(cntr_fs::Filesystem::fs_id(client.as_ref()))?;
+            self.kernel
+                .drop_caches_for(cntr_fs::Filesystem::fs_id(client.as_ref()))?;
             client.drop_caches();
         }
         Ok(())

@@ -235,10 +235,13 @@ fn apache_bench(env: &PerfEnv) -> Timespec {
     let cpu = CpuCosts::calibrated();
     // Content corpus, served warm.
     for i in 0..16 {
-        env.create_file(&format!("htdocs-{i}.html"), 3 * KB).unwrap();
+        env.create_file(&format!("htdocs-{i}.html"), 3 * KB)
+            .unwrap();
     }
     for i in 0..16 {
-        let fd = env.open(&format!("htdocs-{i}.html"), OpenFlags::RDONLY).unwrap();
+        let fd = env
+            .open(&format!("htdocs-{i}.html"), OpenFlags::RDONLY)
+            .unwrap();
         env.pread_discard(fd, 0, 3 * KB as usize).unwrap();
         env.close(fd).unwrap();
     }
@@ -327,7 +330,8 @@ fn dbench(env: &PerfEnv, clients: u32) -> Timespec {
     for c in 0..clients {
         env.mkdir(&format!("client-{c}")).unwrap();
         for f in 0..8 {
-            env.create_file(&format!("client-{c}/f{f}"), 64 * KB).unwrap();
+            env.create_file(&format!("client-{c}/f{f}"), 64 * KB)
+                .unwrap();
         }
     }
     env.measure(|e| {
@@ -827,7 +831,11 @@ mod tests {
                 ));
             }
         }
-        assert!(failures.is_empty(), "out-of-band rows:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "out-of-band rows:\n{}",
+            failures.join("\n")
+        );
         // Cross-row shape checks from the paper's summary (§5.2.1).
         let get = |name: &str| {
             rows.iter()
@@ -861,8 +869,16 @@ mod tests {
         }
         // Read cache is the dominant win (paper: ~10x); splice is marginal
         // (paper: ~5%).
-        assert!(rows[0].speedup() > 2.0, "keep_cache: {:.2}", rows[0].speedup());
-        assert!(rows[2].speedup() > 1.5, "parallel dirops: {:.2}", rows[2].speedup());
+        assert!(
+            rows[0].speedup() > 2.0,
+            "keep_cache: {:.2}",
+            rows[0].speedup()
+        );
+        assert!(
+            rows[2].speedup() > 1.5,
+            "parallel dirops: {:.2}",
+            rows[2].speedup()
+        );
         assert!(
             rows[3].speedup() < 1.35,
             "splice read must be a small win: {:.2}",

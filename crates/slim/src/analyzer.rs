@@ -256,10 +256,7 @@ mod tests {
         let registry = Registry::new();
         let img = fat_nginx();
         registry.push(Arc::clone(&img));
-        (
-            ContainerRuntime::new(EngineKind::Docker, k, registry),
-            img,
-        )
+        (ContainerRuntime::new(EngineKind::Docker, k, registry), img)
     }
 
     #[test]

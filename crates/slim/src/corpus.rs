@@ -80,7 +80,14 @@ const APPS: [&str; 44] = [
 ];
 
 /// The 6 Go-style single-binary images (the paper's <10% group).
-const GO_APPS: [&str; 6] = ["traefik", "consul", "vault", "etcd", "prometheus", "registry"];
+const GO_APPS: [&str; 6] = [
+    "traefik",
+    "consul",
+    "vault",
+    "etcd",
+    "prometheus",
+    "registry",
+];
 
 /// Builds the Top-50 corpus.
 pub fn top50_corpus() -> Vec<CorpusImage> {
@@ -128,8 +135,8 @@ fn build_app_image(rng: &mut SmallRng, name: &str, target_reduction: f64) -> Arc
         .binary("/usr/bin/apt", 4_000_000, &[])
         .binary("/usr/bin/dpkg", 2_500_000, &[]);
     for util in [
-        "ls", "cp", "mv", "rm", "cat", "grep", "sed", "awk", "find", "tar", "gzip", "ps",
-        "top", "less", "vi", "curl", "wget", "ping", "ss", "mount",
+        "ls", "cp", "mv", "rm", "cat", "grep", "sed", "awk", "find", "tar", "gzip", "ps", "top",
+        "less", "vi", "curl", "wget", "ping", "ss", "mount",
     ] {
         b = b.binary(&format!("/usr/bin/{util}"), 150_000, &[]);
     }
@@ -139,7 +146,10 @@ fn build_app_image(rng: &mut SmallRng, name: &str, target_reduction: f64) -> Arc
     b = b
         .file(&format!("/usr/share/doc/{name}/docs.tar"), leftover / 2)
         .file("/usr/share/locale/locales.db", leftover / 4)
-        .file("/usr/share/man/manpages.db", leftover - leftover / 2 - leftover / 4);
+        .file(
+            "/usr/share/man/manpages.db",
+            leftover - leftover / 2 - leftover / 4,
+        );
 
     b = b.layer(&format!("{name}-app"));
     for (path, size) in lib_paths.iter().zip(&lib_sizes) {
@@ -168,10 +178,7 @@ fn build_go_image(rng: &mut SmallRng, name: &str) -> Arc<Image> {
     ImageBuilder::new(name, "latest")
         .layer(&format!("{name}-binary"))
         .binary(&entry, app_size, &[])
-        .text(
-            &format!("/etc/{name}/config.yml"),
-            "log_level: info\n",
-        )
+        .text(&format!("/etc/{name}/config.yml"), "log_level: info\n")
         .file("/usr/share/LICENSES.tar", extra)
         .env("APP_NAME", name)
         .entrypoint(&entry)
@@ -193,10 +200,9 @@ pub fn run_figure5() -> Vec<SlimReport> {
         .iter()
         .map(|c| {
             let cname = format!("c-{}", c.image.name);
-            rt.run(&cname, &c.image.reference()).expect("corpus container starts");
-            let report = slim
-                .slim(&rt, &cname, &c.image)
-                .expect("slimming succeeds");
+            rt.run(&cname, &c.image.reference())
+                .expect("corpus container starts");
+            let report = slim.slim(&rt, &cname, &c.image).expect("slimming succeeds");
             rt.stop(&cname).expect("container stops");
             report
         })
@@ -217,7 +223,11 @@ pub struct Figure5Stats {
 /// Computes the paper's headline statistics from per-image reports.
 pub fn figure5_stats(reports: &[SlimReport]) -> Figure5Stats {
     let n = reports.len().max(1) as f64;
-    let mean = reports.iter().map(SlimReport::reduction_percent).sum::<f64>() / n;
+    let mean = reports
+        .iter()
+        .map(SlimReport::reduction_percent)
+        .sum::<f64>()
+        / n;
     let below_10 = reports
         .iter()
         .filter(|r| r.reduction_percent() < 10.0)

@@ -147,18 +147,9 @@ mod tests {
     #[test]
     fn hard_limit_may_not_be_raised() {
         let mut l = RlimitSet::default();
-        l.set(
-            RlimitKind::Nofile,
-            Rlimit {
-                soft: 10,
-                hard: 10,
-            },
-        )
-        .unwrap();
-        let raise = Rlimit {
-            soft: 10,
-            hard: 20,
-        };
+        l.set(RlimitKind::Nofile, Rlimit { soft: 10, hard: 10 })
+            .unwrap();
+        let raise = Rlimit { soft: 10, hard: 20 };
         assert_eq!(l.set(RlimitKind::Nofile, raise), Err(Errno::EPERM));
     }
 }

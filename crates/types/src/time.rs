@@ -129,6 +129,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(Timespec::from_nanos(1_000_000_042).to_string(), "1.000000042s");
+        assert_eq!(
+            Timespec::from_nanos(1_000_000_042).to_string(),
+            "1.000000042s"
+        );
     }
 }

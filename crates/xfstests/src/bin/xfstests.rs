@@ -8,7 +8,9 @@ use cntr_xfstests::harness::run_suite;
 use cntr_xfstests::{all_tests, cntrfs_over_tmpfs, native_tmpfs};
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     let cases = all_tests();
 
     if mode == "cntrfs" || mode == "both" {

@@ -2,13 +2,13 @@
 
 use cntr_core::CntrfsServer;
 use cntr_engine::runtime::boot_host;
+use cntr_fs::XattrFlags;
 use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport};
 use cntr_kernel::vfs::Whence;
 use cntr_kernel::{CacheMode, Kernel, MountFlags};
 use cntr_types::{
     DevId, Errno, FileType, Gid, Mode, OpenFlags, Pid, RenameFlags, SimClock, Stat, Timespec, Uid,
 };
-use cntr_fs::XattrFlags;
 use parking_lot::Mutex;
 
 /// Result type used by every test body: `Err` carries a failure message.
@@ -122,7 +122,8 @@ pub fn cntrfs_over_tmpfs() -> TestEnv {
     let k = boot_host(SimClock::new());
     let pid = k.fork(Pid::INIT).expect("fork test proc");
     k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir /mnt");
-    k.mkdir(pid, "/mnt/cntrfs", Mode::RWXR_XR_X).expect("mkdir mnt");
+    k.mkdir(pid, "/mnt/cntrfs", Mode::RWXR_XR_X)
+        .expect("mkdir mnt");
     let server_pid = k.fork(Pid::INIT).expect("fork server");
     let server = CntrfsServer::new(k.clone(), server_pid);
     let transport = InlineTransport::new(server);
@@ -161,8 +162,14 @@ pub fn native_tmpfs() -> TestEnv {
     k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");
     k.mkdir(pid, "/mnt/tmpfs", Mode::RWXR_XR_X).expect("mkdir");
     let fs = cntr_fs::memfs::memfs(DevId(0xEEEE), k.clock().clone());
-    k.mount_fs(pid, "/mnt/tmpfs", fs, CacheMode::native(), MountFlags::default())
-        .expect("mount");
+    k.mount_fs(
+        pid,
+        "/mnt/tmpfs",
+        fs,
+        CacheMode::native(),
+        MountFlags::default(),
+    )
+    .expect("mount");
     TestEnv {
         kernel: k,
         pid,
@@ -237,7 +244,10 @@ impl TestEnv {
 
     /// `open(2)` expecting a specific errno.
     pub fn open_expect_err(&self, rel: &str, flags: OpenFlags, want: Errno) -> R {
-        match self.kernel.open(self.pid, &self.p(rel), flags, Mode::RW_R__R__) {
+        match self
+            .kernel
+            .open(self.pid, &self.p(rel), flags, Mode::RW_R__R__)
+        {
             Err(e) if e == want => Ok(()),
             Err(e) => Err(format!("open {rel}: expected {want}, got {e}")),
             Ok(_) => Err(format!("open {rel}: expected {want}, succeeded")),
@@ -403,7 +413,13 @@ impl TestEnv {
     }
 
     /// `setxattr(2)`.
-    pub fn setxattr(&self, rel: &str, name: &str, value: &[u8], flags: XattrFlags) -> Result<(), Errno> {
+    pub fn setxattr(
+        &self,
+        rel: &str,
+        name: &str,
+        value: &[u8],
+        flags: XattrFlags,
+    ) -> Result<(), Errno> {
         self.kernel
             .setxattr(self.pid, &self.p(rel), name, value, flags)
     }
@@ -442,16 +458,8 @@ impl TestEnv {
     }
 
     /// Runs `f` as an unprivileged user process (fresh fork, no caps).
-    pub fn with_user<T>(
-        &self,
-        uid: u32,
-        gid: u32,
-        f: impl FnOnce(Pid) -> T,
-    ) -> Result<T, String> {
-        let child = self
-            .kernel
-            .fork(self.pid)
-            .map_err(|e| fmt_err("fork", e))?;
+    pub fn with_user<T>(&self, uid: u32, gid: u32, f: impl FnOnce(Pid) -> T) -> Result<T, String> {
+        let child = self.kernel.fork(self.pid).map_err(|e| fmt_err("fork", e))?;
         let mut creds = cntr_kernel::cred::Credentials::host_root();
         creds.uid = Uid(uid);
         creds.gid = Gid(gid);

@@ -457,12 +457,8 @@ pub fn all_tests() -> Vec<TestCase> {
         t!(61, "chown by unprivileged user fails", |e| {
             e.write_file("f", b"")?;
             let r = e.with_user(1000, 1000, |pid| {
-                e.kernel.chown(
-                    pid,
-                    &e.p("f"),
-                    cntr_types::Uid(0),
-                    cntr_types::Gid(0),
-                )
+                e.kernel
+                    .chown(pid, &e.p("f"), cntr_types::Uid(0), cntr_types::Gid(0))
             })?;
             expect_errno(r, Errno::EPERM, "unprivileged chown")
         }),

@@ -1,0 +1,45 @@
+//! Tier-1 smoke test over the full xfstests harness (paper §5.1).
+//!
+//! Runs the complete generic-group suite end to end — the same path as the
+//! `tab_xfstests` binary — so a regression anywhere in the simulated syscall
+//! layer (VFS, mounts, FUSE protocol, CntrFS passthrough) fails `cargo test`
+//! rather than only skewing a regenerated table.
+
+use cntr_xfstests::harness::run_suite;
+use cntr_xfstests::{all_tests, cntrfs_over_tmpfs, native_tmpfs};
+
+#[test]
+fn cntrfs_over_tmpfs_passes_at_least_90_of_94() {
+    let cases = all_tests();
+    assert_eq!(cases.len(), 94, "the generic group has 94 tests");
+    let report = run_suite(&cntrfs_over_tmpfs(), &cases);
+    assert!(
+        report.passed() >= 90,
+        "CntrFS regression: {}/{} passed (paper: 90/94); failures: {:?}",
+        report.passed(),
+        report.results.len(),
+        report.failed_ids()
+    );
+    let expected: Vec<u32> = cases
+        .iter()
+        .filter(|c| c.expected_cntrfs_failure.is_some())
+        .map(|c| c.id)
+        .collect();
+    assert_eq!(
+        report.failed_ids(),
+        expected,
+        "CntrFS must fail exactly the documented tests (§5.1: #228 #375 #391 #426)"
+    );
+}
+
+#[test]
+fn native_tmpfs_passes_everything() {
+    let cases = all_tests();
+    let report = run_suite(&native_tmpfs(), &cases);
+    assert_eq!(
+        report.passed(),
+        report.results.len(),
+        "control run must be clean; failures: {:?}",
+        report.failed_ids()
+    );
+}

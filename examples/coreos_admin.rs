@@ -15,7 +15,12 @@ fn main() {
     let kernel = boot_host(SimClock::new());
     // A lean CoreOS-like host: config files, no tools at all.
     let fd = kernel
-        .open(Pid::INIT, "/etc/os-release", OpenFlags::create(), Mode::RW_R__R__)
+        .open(
+            Pid::INIT,
+            "/etc/os-release",
+            OpenFlags::create(),
+            Mode::RW_R__R__,
+        )
         .unwrap();
     kernel.write_fd(Pid::INIT, fd, b"ID=coreos\n").unwrap();
     kernel.close(Pid::INIT, fd).unwrap();

@@ -41,7 +41,10 @@ fn main() {
     let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
     let db = docker.run("prod-db", "mysql:8-slim").unwrap();
     docker.run("toolbox", "debug-tools:latest").unwrap();
-    println!("prod-db running (pid {}), toolbox running — attaching...\n", db.pid);
+    println!(
+        "prod-db running (pid {}), toolbox running — attaching...\n",
+        db.pid
+    );
 
     // cntr attach prod-db --fat-container toolbox
     let cntr = Cntr::new(kernel.clone());

@@ -33,7 +33,11 @@ fn main() {
     );
     let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
     let container = docker.run("cache", "redis:7-slim").unwrap();
-    println!("started container 'cache' ({}) pid={}", &container.id[..12], container.pid);
+    println!(
+        "started container 'cache' ({}) pid={}",
+        &container.id[..12],
+        container.pid
+    );
 
     // cntr attach cache
     let cntr = Cntr::new(kernel.clone());

@@ -1,0 +1,383 @@
+//! Offline subset of `proptest`: random-input property testing without
+//! shrinking. The surface mirrors upstream so test files compile unchanged:
+//! `proptest!` with `#![proptest_config(..)]`, `Strategy::prop_map`,
+//! `prop_oneof!`, `any::<T>()`, `proptest::collection::vec`, and the
+//! `prop_assert*` macros. Failing cases report the generated inputs via the
+//! assertion message; minimization is not attempted.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration. Only the fields this workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Base RNG seed; fixed so CI runs are deterministic.
+        pub seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Upstream defaults to 256; this workspace keeps suites under
+            // the tier-1 time budget with a lower deterministic default.
+            ProptestConfig {
+                cases: 64,
+                seed: 0x70_72_6F_70,
+            }
+        }
+    }
+
+    /// The RNG driving one test case.
+    pub type TestRng = SmallRng;
+
+    /// Derives the RNG for case number `case` of a property.
+    pub fn new_rng(seed: u64, case: u32) -> TestRng {
+        SmallRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// A strategy drawing uniformly from `alternatives`.
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+            Union(alternatives)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let ix = rng.gen_range(0..self.0.len());
+            self.0[ix].generate(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident/$ix:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, like `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `Vec`s with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ..)` body
+/// runs `cases` times with fresh random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::test_runner::new_rng(cfg.seed, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($alt)),+
+        ])
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        Small(u8),
+        Pair(u8, u16),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 0u8..8, v in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(x < 8);
+            prop_assert!(v.len() < 16);
+        }
+
+        #[test]
+        fn oneof_and_map(p in prop_oneof![
+            (0u8..4).prop_map(Pick::Small),
+            (0u8..4, 0u16..100).prop_map(|(a, b)| Pick::Pair(a, b)),
+        ]) {
+            match p {
+                Pick::Small(a) => prop_assert!(a < 4),
+                Pick::Pair(a, b) => prop_assert!(a < 4 && b < 100),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::new_rng(1, 2);
+        let mut b = crate::test_runner::new_rng(1, 2);
+        let s = crate::collection::vec(0u16..500, 1..30);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

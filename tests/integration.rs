@@ -1,15 +1,17 @@
 //! End-to-end integration tests spanning every crate: registry → engines →
 //! slimming → deployment → attach → tools → failure injection.
 
-use cntr::prelude::*;
 use cntr::engine::registry::DeploymentModel;
+use cntr::prelude::*;
 use cntr::slim::DockerSlim;
 use cntr::types::Errno;
 use std::sync::Arc;
 
 fn host_with_tools() -> Kernel {
     let kernel = boot_host(SimClock::new());
-    for tool in ["gdb", "ls", "cat", "ps", "strace", "tee", "stat", "env", "hostname"] {
+    for tool in [
+        "gdb", "ls", "cat", "ps", "strace", "tee", "stat", "env", "hostname",
+    ] {
         let path = format!("/usr/bin/{tool}");
         let fd = kernel
             .open(Pid::INIT, &path, OpenFlags::create(), Mode::RWXR_XR_X)
@@ -29,7 +31,11 @@ fn fat_nginx() -> Arc<cntr::engine::Image> {
         .binary("/usr/bin/apt", 4_000_000, &["/lib/libc.so"])
         .file("/usr/share/doc/everything", 40_000_000)
         .layer("nginx")
-        .binary("/usr/sbin/nginx", 1_500_000, &["/lib/libc.so", "/lib/libssl.so"])
+        .binary(
+            "/usr/sbin/nginx",
+            1_500_000,
+            &["/lib/libc.so", "/lib/libssl.so"],
+        )
         .file("/lib/libc.so", 2_000_000)
         .file("/lib/libssl.so", 700_000)
         .text("/etc/nginx.conf", "worker_processes auto;\n")
@@ -60,7 +66,10 @@ fn slim_deploy_attach_pipeline() {
     let fat_deploy = registry.deploy("host-a", "nginx:fat", model).unwrap();
     let slim_deploy = registry.deploy("host-b", "nginx:fat-slim", model).unwrap();
     assert!(slim_deploy.total_time < fat_deploy.total_time);
-    assert!(fat_deploy.download_fraction() > 0.5, "downloads dominate deployment");
+    assert!(
+        fat_deploy.download_fraction() > 0.5,
+        "downloads dominate deployment"
+    );
 
     // 3. The slim container runs, but has no tools at all.
     let web = docker.run("web", "nginx:fat-slim").unwrap();
