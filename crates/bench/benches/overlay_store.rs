@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks over the overlay subsystem: blob-store dedup
+//! throughput, copy-up latency, and merged-directory operations.
+//!
+//! The dedup-ratio numbers these print (via `--nocapture`-style stdout) are
+//! the ones ROADMAP records for the "hundreds of containers" scaling story.
+
+use cntr_engine::runtime::boot_host;
+use cntr_engine::{ContainerRuntime, EngineKind, ImageBuilder, Registry};
+use cntr_fs::{Filesystem, FsContext};
+use cntr_overlay::{blobfs, BlobStore, OverlayFs};
+use cntr_types::{DevId, FileType, Ino, Mode, OpenFlags, SimClock};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const CHUNK: usize = 4096;
+
+fn bench_blob_ingest(c: &mut Criterion) {
+    let store = BlobStore::new();
+    // 1 MiB payload with 64 distinct chunks.
+    let payload: Vec<u8> = (0..1 << 20).map(|i| (i / CHUNK + i * 13) as u8).collect();
+    let mut group = c.benchmark_group("blob_store");
+    group.bench_function("ingest_1mib_cold", |b| {
+        b.iter(|| {
+            // Distinct content each iteration (vary one byte per chunk).
+            let mut p = payload.clone();
+            p[0] = p[0].wrapping_add(1);
+            black_box(store.ingest(&p))
+        })
+    });
+    let warm = store.ingest(&payload);
+    group.bench_function("ingest_1mib_dedup_hit", |b| {
+        b.iter(|| black_box(store.ingest(&payload)))
+    });
+    drop(warm);
+    group.finish();
+}
+
+/// Lower layer with `n` files of `chunks` chunks each, plus the overlay.
+fn overlay_with_lower_files(n: usize, chunks: usize) -> (Arc<OverlayFs>, Vec<Ino>) {
+    let clock = SimClock::new();
+    let store = BlobStore::new();
+    let ctx = FsContext::root();
+    let lower = blobfs(DevId(1), clock.clone(), store.clone());
+    let payload: Vec<u8> = (0..chunks * CHUNK).map(|i| (i * 31) as u8).collect();
+    for i in 0..n {
+        let st = lower
+            .mknod(
+                Ino::ROOT,
+                &format!("file{i}"),
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &ctx,
+            )
+            .unwrap();
+        let fh = lower.open(st.ino, OpenFlags::WRONLY).unwrap();
+        lower.write(st.ino, fh, 0, &payload).unwrap();
+        lower.release(st.ino, fh).unwrap();
+    }
+    let upper = blobfs(DevId(2), clock, store);
+    let overlay = OverlayFs::new(DevId(3), vec![lower], upper);
+    let inos: Vec<Ino> = (0..n)
+        .map(|i| overlay.lookup(Ino::ROOT, &format!("file{i}")).unwrap().ino)
+        .collect();
+    (overlay, inos)
+}
+
+fn bench_copy_up(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    // Each iteration copy-ups a fresh 256 KiB lower file via a 1-byte write.
+    // (The pool is large enough that criterion's calibration never wraps.)
+    let (overlay, inos) = overlay_with_lower_files(8192, 64);
+    let mut i = 0usize;
+    group.bench_function("copy_up_256k_first_write", |b| {
+        b.iter(|| {
+            let ino = inos[i % inos.len()];
+            i += 1;
+            let fh = overlay.open(ino, OpenFlags::WRONLY).unwrap();
+            overlay.write(ino, fh, 0, b"!").unwrap();
+            overlay.release(ino, fh).unwrap();
+        })
+    });
+    // Steady-state write to an already-copied-up file, for contrast.
+    let ino = inos[0];
+    let fh = overlay.open(ino, OpenFlags::WRONLY).unwrap();
+    group.bench_function("write_4k_after_copy_up", |b| {
+        let buf = vec![7u8; CHUNK];
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + CHUNK as u64) % (64 * CHUNK as u64);
+            overlay.write(ino, fh, off, &buf).unwrap()
+        })
+    });
+    overlay.release(ino, fh).unwrap();
+    group.finish();
+}
+
+fn bench_merged_readdir_and_lookup(c: &mut Criterion) {
+    let (overlay, _) = overlay_with_lower_files(256, 1);
+    let mut group = c.benchmark_group("overlay");
+    group.bench_function("merged_readdir_256", |b| {
+        b.iter(|| black_box(overlay.readdir(Ino::ROOT).unwrap().len()))
+    });
+    let mut i = 0u64;
+    group.bench_function("merged_lookup", |b| {
+        b.iter(|| {
+            i += 1;
+            overlay
+                .lookup(Ino::ROOT, &format!("file{}", i % 256))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Not a timing benchmark: prints the dedup ratio for N containers of one
+/// image, the headline number of the subsystem.
+fn report_container_dedup(_c: &mut Criterion) {
+    let k = boot_host(SimClock::new());
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "1")
+            .layer("base")
+            .text("/etc/base.conf", &"shared base content ".repeat(2000))
+            .layer("app")
+            .text("/etc/app.conf", &"application payload ".repeat(3000))
+            .entrypoint("/bin/app")
+            .build(),
+    );
+    let rt = ContainerRuntime::new(EngineKind::Docker, k, registry);
+    const N: usize = 100;
+    for i in 0..N {
+        rt.run(&format!("c{i}"), "app:1").unwrap();
+    }
+    let stats = rt.blob_store().stats();
+    let image_bytes = rt.registry().get("app:1").unwrap().size_bytes();
+    let flat = N as u64 * image_bytes;
+    println!(
+        "container_dedup: {N} containers, physical={} B vs {} B flattened \
+         ({:.0}x saving), image={} B, ingest-dedup ratio={:.1}x",
+        stats.physical_bytes,
+        flat,
+        flat as f64 / stats.physical_bytes.max(1) as f64,
+        image_bytes,
+        stats.dedup_ratio()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_blob_ingest,
+    bench_copy_up,
+    bench_merged_readdir_and_lookup,
+    report_container_dedup
+);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! * inodes are resolved to **paths** and re-opened per lookup: "for every
 //!   lookup, we need one `open()` system call to get a file handle to the
 //!   inode, followed by a `stat()` system call to check if we already have
-//!   looked up this inode in a different path due [to] hardlinks" (§5.2.2) —
+//!   looked up this inode in a different path due \[to\] hardlinks" (§5.2.2) —
 //!   this server does exactly that, which is why CntrFS lookups are slower
 //!   than native dcache hits (compilebench-read's 13.3×),
 //! * ownership of created files is stamped with the caller's ids

@@ -1,6 +1,13 @@
 //! Container images: ordered layers of file entries.
+//!
+//! Layers materialize in two ways: flattened into one filesystem (the
+//! legacy path, still used as the oracle in equivalence tests) or **one
+//! filesystem per layer** ([`Layer::materialize_into`]) so the runtime can
+//! stack them read-only under a per-container `OverlayFs` and share them
+//! across every container of the image.
 
 use cntr_fs::{Filesystem, FsContext, MemFs};
+use cntr_overlay::BlobHandle;
 use cntr_types::{FileType, Ino, Mode, OpenFlags, SysResult};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -9,20 +16,28 @@ use std::sync::Arc;
 ///
 /// Large synthetic files use [`Content::Sparse`] so a 500 MB "binary"
 /// costs no real memory: the size is metadata, reads return zeroes.
+/// Real payloads live in a content-addressed blob store and are referenced
+/// by a [`Content::Blob`] handle — the bytes are not inlined in the image
+/// manifest, and identical content across layers and images is stored once.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Content {
-    /// Literal bytes (configs, scripts).
+    /// Literal bytes (small configs, scripts).
     Bytes(Vec<u8>),
     /// `size` bytes of zeroes, stored sparsely.
     Sparse(u64),
+    /// Content-addressed data in a shared `BlobStore`.
+    Blob(BlobHandle),
 }
 
 impl Content {
-    /// Logical size in bytes.
+    /// Logical size in bytes. Blob content reports its handle's length —
+    /// never the physically stored (deduplicated) size, so sparse and
+    /// shared files keep their apparent size everywhere this is summed.
     pub fn len(&self) -> u64 {
         match self {
             Content::Bytes(b) => b.len() as u64,
             Content::Sparse(n) => *n,
+            Content::Blob(h) => h.len(),
         }
     }
 
@@ -144,66 +159,175 @@ impl Image {
         self.effective_files().get(path).copied()
     }
 
-    /// Materializes the image into a fresh rootfs.
+    /// Materializes the image **flattened** into a fresh rootfs (the
+    /// pre-overlay representation; still the oracle for the overlay
+    /// equivalence property tests).
     ///
     /// Parent directories are created implicitly; `/proc`, `/dev`, `/etc`
     /// and `/tmp` always exist so the runtime can mount over them.
     pub fn materialize(&self, fs: &MemFs) -> SysResult<()> {
         let ctx = FsContext::root();
-        for dir in [
-            "/proc",
-            "/dev",
-            "/etc",
-            "/tmp",
-            "/var",
-            "/var/lib",
-            "/var/lib/cntr",
-        ] {
+        for dir in ROOTFS_SKELETON {
             mkdir_p(fs, dir, &ctx)?;
         }
         for e in self.all_entries() {
-            match &e.node {
-                NodeSpec::Dir { mode } => {
-                    mkdir_p(fs, &e.path, &ctx)?;
-                    if let Ok((parent, name)) = split_parent(&e.path) {
-                        let pino = resolve_dir(fs, parent)?;
-                        if let Ok(st) = fs.lookup(pino, name) {
-                            let _ = fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), &ctx);
-                        }
-                    }
-                }
-                NodeSpec::File { mode, content, .. } => {
-                    let (parent, name) = split_parent(&e.path)?;
-                    mkdir_p(fs, parent, &ctx)?;
-                    let pino = resolve_dir(fs, parent)?;
-                    // Later layers replace earlier files.
-                    let _ = fs.unlink(pino, name);
-                    let st = fs.mknod(pino, name, FileType::Regular, *mode, 0, &ctx)?;
-                    match content {
-                        Content::Bytes(b) if !b.is_empty() => {
-                            let fh = fs.open(st.ino, OpenFlags::WRONLY)?;
-                            fs.write(st.ino, fh, 0, b)?;
-                            fs.release(st.ino, fh)?;
-                        }
-                        Content::Bytes(_) => {}
-                        Content::Sparse(n) => {
-                            fs.setattr(st.ino, &cntr_types::SetAttr::truncate(*n), &ctx)?;
-                        }
-                    }
-                    // Restore the mode: writes strip setuid/setgid.
-                    fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), &ctx)?;
-                }
-                NodeSpec::Symlink { target } => {
-                    let (parent, name) = split_parent(&e.path)?;
-                    mkdir_p(fs, parent, &ctx)?;
-                    let pino = resolve_dir(fs, parent)?;
-                    let _ = fs.unlink(pino, name);
-                    fs.symlink(pino, name, target, &ctx)?;
-                }
-            }
+            apply_entry(fs, e, &ctx)?;
         }
         Ok(())
     }
+}
+
+/// Directories every container rootfs must have so the runtime can mount
+/// over them (`/proc`, `/dev`) and CNTR can bind under them
+/// (`/var/lib/cntr`).
+pub const ROOTFS_SKELETON: &[&str] = &[
+    "/proc",
+    "/dev",
+    "/etc",
+    "/tmp",
+    "/var",
+    "/var/lib",
+    "/var/lib/cntr",
+];
+
+impl Layer {
+    /// Content digest over everything that affects materialization (paths,
+    /// node kinds, modes, data identity, symlink targets, deps). The
+    /// runtime's layer cache keys on this **in addition to the id**, so an
+    /// id reused across images with different content can never serve the
+    /// wrong rootfs.
+    pub fn content_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for e in &self.entries {
+            e.path.hash(&mut h);
+            match &e.node {
+                NodeSpec::Dir { mode } => {
+                    0u8.hash(&mut h);
+                    mode.bits().hash(&mut h);
+                }
+                NodeSpec::File {
+                    mode,
+                    content,
+                    deps,
+                } => {
+                    1u8.hash(&mut h);
+                    mode.bits().hash(&mut h);
+                    deps.hash(&mut h);
+                    match content {
+                        Content::Bytes(b) => {
+                            0u8.hash(&mut h);
+                            b.hash(&mut h);
+                        }
+                        Content::Sparse(n) => {
+                            1u8.hash(&mut h);
+                            n.hash(&mut h);
+                        }
+                        Content::Blob(handle) => {
+                            2u8.hash(&mut h);
+                            handle.len().hash(&mut h);
+                            handle.chunks().hash(&mut h);
+                        }
+                    }
+                }
+                NodeSpec::Symlink { target } => {
+                    2u8.hash(&mut h);
+                    target.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Materializes **this layer alone** into `fs` — the read-only lower
+    /// filesystem the runtime shares across all containers of the image.
+    /// Parent directories are created implicitly (as the directory entries
+    /// of an OCI layer tar would); shadowing across layers is the
+    /// overlay's job, not performed here.
+    pub fn materialize_into(&self, fs: &dyn Filesystem) -> SysResult<()> {
+        let ctx = FsContext::root();
+        for e in &self.entries {
+            apply_entry(fs, e, &ctx)?;
+        }
+        Ok(())
+    }
+}
+
+/// Creates one image entry (and its parent directories) in `fs`, replacing
+/// an existing entry at the same path.
+fn apply_entry(fs: &dyn Filesystem, e: &FileEntry, ctx: &FsContext) -> SysResult<()> {
+    match &e.node {
+        NodeSpec::Dir { mode } => {
+            mkdir_p(fs, &e.path, ctx)?;
+            if let Ok((parent, name)) = split_parent(&e.path) {
+                let pino = resolve_dir(fs, parent)?;
+                if let Ok(st) = fs.lookup(pino, name) {
+                    let _ = fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), ctx);
+                }
+            }
+        }
+        NodeSpec::File { mode, content, .. } => {
+            let (parent, name) = split_parent(&e.path)?;
+            mkdir_p(fs, parent, ctx)?;
+            let pino = resolve_dir(fs, parent)?;
+            // Later entries replace earlier files at the same path.
+            let _ = fs.unlink(pino, name);
+            let st = fs.mknod(pino, name, FileType::Regular, *mode, 0, ctx)?;
+            write_content(fs, st.ino, content, ctx)?;
+            // Restore the mode: writes strip setuid/setgid.
+            fs.setattr(st.ino, &cntr_types::SetAttr::chmod(*mode), ctx)?;
+        }
+        NodeSpec::Symlink { target } => {
+            let (parent, name) = split_parent(&e.path)?;
+            mkdir_p(fs, parent, ctx)?;
+            let pino = resolve_dir(fs, parent)?;
+            let _ = fs.unlink(pino, name);
+            fs.symlink(pino, name, target, ctx)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a [`Content`] into a freshly created file.
+///
+/// Sparse content is a bare truncate (no pages are allocated), and blob
+/// content is streamed chunk-wise — on a blob-backed filesystem each chunk
+/// write re-addresses into the shared store and degenerates to a refcount
+/// bump, so materializing a layer never duplicates bytes the store already
+/// holds.
+fn write_content(
+    fs: &dyn Filesystem,
+    ino: Ino,
+    content: &Content,
+    ctx: &FsContext,
+) -> SysResult<()> {
+    match content {
+        Content::Bytes(b) if !b.is_empty() => {
+            let fh = fs.open(ino, OpenFlags::WRONLY)?;
+            fs.write(ino, fh, 0, b)?;
+            fs.release(ino, fh)?;
+        }
+        Content::Bytes(_) => {}
+        Content::Sparse(n) => {
+            fs.setattr(ino, &cntr_types::SetAttr::truncate(*n), ctx)?;
+        }
+        Content::Blob(h) => {
+            let fh = fs.open(ino, OpenFlags::WRONLY)?;
+            for &(page, id) in h.chunks() {
+                let bytes = h.store().chunk(id);
+                let off = page * cntr_overlay::blob::CHUNK_SIZE as u64;
+                let end = (off + bytes.len() as u64).min(h.len());
+                let take = (end.saturating_sub(off)) as usize;
+                if take > 0 {
+                    fs.write(ino, fh, off, &bytes[..take])?;
+                }
+            }
+            fs.release(ino, fh)?;
+            // Holes and a sparse tail are restored by sizing the file last.
+            fs.setattr(ino, &cntr_types::SetAttr::truncate(h.len()), ctx)?;
+        }
+    }
+    Ok(())
 }
 
 fn split_parent(path: &str) -> SysResult<(&str, &str)> {
@@ -215,7 +339,8 @@ fn split_parent(path: &str) -> SysResult<(&str, &str)> {
     }
 }
 
-fn resolve_dir(fs: &MemFs, path: &str) -> SysResult<Ino> {
+/// Resolves an absolute directory path component-wise.
+pub fn resolve_dir(fs: &dyn Filesystem, path: &str) -> SysResult<Ino> {
     let mut ino = Ino::ROOT;
     for comp in path.split('/').filter(|c| !c.is_empty()) {
         ino = fs.lookup(ino, comp)?.ino;
@@ -223,7 +348,8 @@ fn resolve_dir(fs: &MemFs, path: &str) -> SysResult<Ino> {
     Ok(ino)
 }
 
-fn mkdir_p(fs: &MemFs, path: &str, ctx: &FsContext) -> SysResult<()> {
+/// Creates a directory chain (`mkdir -p`).
+pub fn mkdir_p(fs: &dyn Filesystem, path: &str, ctx: &FsContext) -> SysResult<()> {
     let mut ino = Ino::ROOT;
     for comp in path.split('/').filter(|c| !c.is_empty()) {
         ino = match fs.lookup(ino, comp) {
@@ -320,6 +446,21 @@ impl ImageBuilder {
             node: NodeSpec::File {
                 mode: Mode::RW_R__R__,
                 content: Content::Bytes(content.as_bytes().to_vec()),
+                deps: Vec::new(),
+            },
+        });
+        self
+    }
+
+    /// Adds a file whose data lives in a content-addressed blob store.
+    /// Identical payloads across layers and images share physical chunks.
+    #[must_use]
+    pub fn blob(mut self, path: &str, content: BlobHandle) -> ImageBuilder {
+        self.current.entries.push(FileEntry {
+            path: path.to_string(),
+            node: NodeSpec::File {
+                mode: Mode::RW_R__R__,
+                content: Content::Blob(content),
                 deps: Vec::new(),
             },
         });
@@ -423,20 +564,20 @@ mod tests {
         let img = sample();
         let fs = memfs(DevId(5), SimClock::new());
         img.materialize(&fs).unwrap();
-        let bin = resolve_dir(&fs, "/usr/sbin").unwrap();
+        let bin = resolve_dir(fs.as_ref(), "/usr/sbin").unwrap();
         let st = fs.lookup(bin, "mysqld").unwrap();
         assert_eq!(st.size, 50_000_000);
         assert!(st.mode.bits() & 0o111 != 0, "binary is executable");
         // Sparse: no real pages allocated for the 50 MB binary.
         assert!(fs.used_bytes() < 1 << 20);
         // Config has literal content.
-        let etc = resolve_dir(&fs, "/etc").unwrap();
+        let etc = resolve_dir(fs.as_ref(), "/etc").unwrap();
         let conf = fs.lookup(etc, "my.cnf").unwrap();
         assert_eq!(conf.size, 32);
         // Standard mountpoint dirs exist.
-        assert!(resolve_dir(&fs, "/proc").is_ok());
-        assert!(resolve_dir(&fs, "/dev").is_ok());
-        assert!(resolve_dir(&fs, "/var/lib/cntr").is_ok());
+        assert!(resolve_dir(fs.as_ref(), "/proc").is_ok());
+        assert!(resolve_dir(fs.as_ref(), "/dev").is_ok());
+        assert!(resolve_dir(fs.as_ref(), "/var/lib/cntr").is_ok());
     }
 
     #[test]
@@ -449,7 +590,63 @@ mod tests {
             .build();
         let fs = memfs(DevId(5), SimClock::new());
         img.materialize(&fs).unwrap();
-        let etc = resolve_dir(&fs, "/etc").unwrap();
+        let etc = resolve_dir(fs.as_ref(), "/etc").unwrap();
         assert_eq!(fs.lookup(etc, "conf").unwrap().size, 3);
+    }
+
+    #[test]
+    fn blob_content_reports_length_and_dedups_across_images() {
+        use cntr_overlay::{blobfs, BlobStore};
+        let store = BlobStore::new();
+        // 3 chunks of data followed by a 2-chunk hole: the handle keeps the
+        // sparse tail as a hole, and `len` reports the logical size.
+        let mut payload = vec![0u8; 5 * 4096];
+        for (i, b) in payload.iter_mut().take(3 * 4096).enumerate() {
+            // Mix in the chunk number so the three chunks are distinct.
+            *b = (i * 17 + i / 4096 * 31) as u8;
+        }
+        let handle = store.ingest(&payload);
+        assert_eq!(handle.len(), 5 * 4096);
+        assert!(!handle.is_empty());
+
+        let img_a = ImageBuilder::new("a", "1")
+            .layer("a-data")
+            .blob("/opt/data.bin", handle.clone())
+            .build();
+        let img_b = ImageBuilder::new("b", "1")
+            .layer("b-data")
+            .blob("/srv/copy.bin", handle)
+            .build();
+        // Content::len goes through the handle, so layer accounting sees
+        // the logical size.
+        assert_eq!(img_a.size_bytes(), 5 * 4096);
+
+        // Materializing both images into blob-backed layers stores the
+        // shared chunks once.
+        let clock = SimClock::new();
+        let before = store.stats().physical_bytes;
+        assert_eq!(before, 3 * 4096, "ingest stored only the data chunks");
+        for (img, dev) in [(&img_a, 101), (&img_b, 102)] {
+            let fs = blobfs(DevId(dev), clock.clone(), store.clone());
+            img.layers[0].materialize_into(fs.as_ref()).unwrap();
+            let root = resolve_dir(fs.as_ref(), "/").unwrap();
+            let dir = fs.readdir(root).unwrap();
+            assert_eq!(dir.len(), 1);
+        }
+        assert_eq!(
+            store.stats().physical_bytes,
+            before,
+            "materializing blob content is refcount bumps, not copies"
+        );
+        // The materialized file reads back with the hole intact.
+        let fs = blobfs(DevId(103), clock, store.clone());
+        img_a.layers[0].materialize_into(fs.as_ref()).unwrap();
+        let opt = resolve_dir(fs.as_ref(), "/opt").unwrap();
+        let st = fs.lookup(opt, "data.bin").unwrap();
+        assert_eq!(st.size, 5 * 4096);
+        let fh = fs.open(st.ino, OpenFlags::RDONLY).unwrap();
+        let mut buf = vec![1u8; 4096];
+        fs.read(st.ino, fh, 4 * 4096, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "sparse tail reads zero");
     }
 }

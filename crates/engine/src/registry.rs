@@ -1,7 +1,7 @@
 //! The image registry and the deployment-time model.
 //!
 //! The paper's motivation (§1) rests on deployment cost: "downloading
-//! container images account[s] for 92% of the deployment time", so every
+//! container images account\[s\] for 92% of the deployment time", so every
 //! byte shaved off an image translates into startup latency. The registry
 //! tracks which layers a host already has (Docker's layer cache) and
 //! charges virtual time for the rest.

@@ -8,11 +8,14 @@
 //! the *name → pid* mapping from an engine (paper §3.2.1) — everything
 //! else it reads from the kernel.
 
+use crate::image::{mkdir_p as fs_mkdir_p, Image, Layer, ROOTFS_SKELETON};
 use crate::registry::Registry;
 use cntr_fs::memfs::memfs;
+use cntr_fs::{Filesystem, FsContext};
 use cntr_kernel::cred::Credentials;
 use cntr_kernel::devfs;
 use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
+use cntr_overlay::{blobfs, BlobFs, BlobStore, OverlayFs};
 use cntr_types::{DevId, Errno, Mode, Pid, SysResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -93,23 +96,49 @@ pub struct Container {
 }
 
 /// A container engine instance over a simulated kernel.
+///
+/// Storage model: every image layer materializes **once** as a shared
+/// read-only [`BlobFs`] (content-addressed against the runtime's
+/// [`BlobStore`]); each container mounts a cheap [`OverlayFs`] — those
+/// shared lowers plus a private writable upper — so N containers of one
+/// image cost O(upper writes), not O(N × image size).
 pub struct ContainerRuntime {
     kind: EngineKind,
     kernel: Kernel,
     registry: Arc<Registry>,
     containers: Mutex<HashMap<String, Container>>,
+    store: Arc<BlobStore>,
+    /// `(layer id, content digest)` → shared read-only lower filesystem.
+    layers: Mutex<HashMap<(String, u64), Arc<BlobFs>>>,
+    /// Container name → its overlay root (for slimming and diagnostics).
+    overlays: Mutex<HashMap<String, Arc<OverlayFs>>>,
     next_seq: AtomicU64,
     next_dev: AtomicU64,
 }
 
 impl ContainerRuntime {
-    /// Creates an engine of `kind` on `kernel`, pulling from `registry`.
+    /// Creates an engine of `kind` on `kernel`, pulling from `registry`,
+    /// with a private blob store.
     pub fn new(kind: EngineKind, kernel: Kernel, registry: Arc<Registry>) -> ContainerRuntime {
+        Self::with_store(kind, kernel, registry, BlobStore::new())
+    }
+
+    /// Creates an engine sharing `store` — engines on one machine share
+    /// one store so identical layers dedup across engine flavours too.
+    pub fn with_store(
+        kind: EngineKind,
+        kernel: Kernel,
+        registry: Arc<Registry>,
+        store: Arc<BlobStore>,
+    ) -> ContainerRuntime {
         ContainerRuntime {
             kind,
             kernel,
             registry,
             containers: Mutex::new(HashMap::new()),
+            store,
+            layers: Mutex::new(HashMap::new()),
+            overlays: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
             next_dev: AtomicU64::new(1000),
         }
@@ -130,8 +159,75 @@ impl ContainerRuntime {
         &self.registry
     }
 
+    /// The content-addressed store backing every layer and upper.
+    pub fn blob_store(&self) -> &Arc<BlobStore> {
+        &self.store
+    }
+
+    /// The overlay root filesystem of a running container.
+    pub fn overlay_of(&self, name: &str) -> SysResult<Arc<OverlayFs>> {
+        self.overlays.lock().get(name).cloned().ok_or(Errno::ESRCH)
+    }
+
+    /// Returns the shared read-only filesystem of `layer`, materializing
+    /// it on first use. All containers (of all images) referencing the
+    /// same layer content share one instance. The lock is held across
+    /// materialization so a concurrent first use neither duplicates the
+    /// work nor races the insertion.
+    fn lower_for(&self, layer: &Layer) -> SysResult<Arc<BlobFs>> {
+        let key = (layer.id.clone(), layer.content_digest());
+        let mut layers = self.layers.lock();
+        if let Some(fs) = layers.get(&key) {
+            return Ok(Arc::clone(fs));
+        }
+        let dev = DevId(self.next_dev.fetch_add(1, Ordering::Relaxed));
+        let fs = blobfs(dev, self.kernel.clock().clone(), Arc::clone(&self.store));
+        layer.materialize_into(fs.as_ref())?;
+        layers.insert(key, Arc::clone(&fs));
+        Ok(fs)
+    }
+
+    /// Assembles a fresh overlay rootfs for one container of `image`:
+    /// shared lowers (topmost layer first), private blob-backed upper.
+    fn overlay_rootfs(&self, image: &Image) -> SysResult<Arc<OverlayFs>> {
+        let mut lowers: Vec<Arc<dyn Filesystem>> = Vec::with_capacity(image.layers.len());
+        for layer in image.layers.iter().rev() {
+            lowers.push(self.lower_for(layer)?);
+        }
+        let clock = self.kernel.clock().clone();
+        let upper = blobfs(
+            DevId(self.next_dev.fetch_add(1, Ordering::Relaxed)),
+            clock,
+            Arc::clone(&self.store),
+        );
+        let rootfs = OverlayFs::new(
+            DevId(self.next_dev.fetch_add(1, Ordering::Relaxed)),
+            lowers,
+            upper,
+        );
+        // Mountpoint/runtime skeleton lives in the upper layer.
+        let ctx = FsContext::root();
+        for dir in ROOTFS_SKELETON {
+            fs_mkdir_p(rootfs.as_ref(), dir, &ctx)?;
+        }
+        Ok(rootfs)
+    }
+
     /// Creates and starts a container from `image_ref`.
     pub fn run(&self, name: &str, image_ref: &str) -> SysResult<Container> {
+        self.run_from(Pid::INIT, name, image_ref)
+    }
+
+    /// Starts a container **inside** an existing container (nested
+    /// container-in-container): the child forks from the parent
+    /// container's init and its rootfs/bookkeeping live in the parent's
+    /// mount namespace.
+    pub fn run_nested(&self, parent: &str, name: &str, image_ref: &str) -> SysResult<Container> {
+        let parent_pid = self.resolve(parent)?;
+        self.run_from(parent_pid, name, image_ref)
+    }
+
+    fn run_from(&self, parent_pid: Pid, name: &str, image_ref: &str) -> SysResult<Container> {
         if self.containers.lock().contains_key(name) {
             return Err(Errno::EEXIST);
         }
@@ -140,17 +236,21 @@ impl ContainerRuntime {
         let id = self.kind.format_id(seq, name);
         let k = &self.kernel;
 
-        // Materialize the rootfs.
+        // Assemble the copy-on-write rootfs over shared image layers.
+        let rootfs = self.overlay_rootfs(&image)?;
         let dev = DevId(self.next_dev.fetch_add(1, Ordering::Relaxed));
-        let rootfs = memfs(dev, k.clock().clone());
-        image.materialize(&rootfs)?;
 
-        // Host-side bookkeeping directory.
+        // Host-side bookkeeping directory (in the parent's namespace).
         let host_dir = format!("/var/lib/{}/{}", self.kind.dir_name(), id);
-        mkdir_p(k, Pid::INIT, &host_dir)?;
+        mkdir_p(k, parent_pid, &host_dir)?;
 
-        // Fork and isolate.
-        let pid = k.fork(Pid::INIT)?;
+        // Fork and isolate. The setup phase (unshare, mounts, pivot_root)
+        // needs full privileges even when the parent is a confined
+        // container init — the nested-engine equivalent of running the
+        // inner daemon privileged; the final `set_creds` below re-confines
+        // the container to its bounding set.
+        let pid = k.fork(parent_pid)?;
+        k.set_creds(pid, Credentials::host_root())?;
         k.unshare(
             pid,
             &[
@@ -168,7 +268,7 @@ impl ContainerRuntime {
         k.mount_fs(
             pid,
             &host_dir,
-            rootfs,
+            Arc::clone(&rootfs) as Arc<dyn Filesystem>,
             CacheMode::native(),
             MountFlags::default(),
         )?;
@@ -216,6 +316,7 @@ impl ContainerRuntime {
         self.containers
             .lock()
             .insert(name.to_string(), container.clone());
+        self.overlays.lock().insert(name.to_string(), rootfs);
         Ok(container)
     }
 
@@ -249,9 +350,11 @@ impl ContainerRuntime {
         v
     }
 
-    /// Stops and removes a container.
+    /// Stops and removes a container. The shared lower layers stay cached
+    /// for future containers; only the private upper is dropped.
     pub fn stop(&self, name: &str) -> SysResult<()> {
         let container = self.containers.lock().remove(name).ok_or(Errno::ESRCH)?;
+        self.overlays.lock().remove(name);
         self.kernel.exit(container.pid)?;
         self.kernel.reap(container.pid)?;
         Ok(())

@@ -1,0 +1,157 @@
+//! The scaling property the overlay subsystem exists for: N containers of
+//! one image share their lower-layer blobs, so total blob-store bytes grow
+//! with **upper-layer writes**, not with N × image size.
+
+use cntr_engine::runtime::boot_host;
+use cntr_engine::{ContainerRuntime, EngineKind, ImageBuilder, Registry};
+use cntr_types::{Mode, OpenFlags, SimClock};
+use std::sync::Arc;
+
+const CHUNK: u64 = 4096;
+
+fn write_all(k: &cntr_kernel::Kernel, pid: cntr_types::Pid, path: &str, data: &[u8]) {
+    let fd = k
+        .open(pid, path, OpenFlags::create(), Mode::RW_R__R__)
+        .unwrap();
+    let mut off = 0;
+    while off < data.len() {
+        off += k.write_fd(pid, fd, &data[off..]).unwrap();
+    }
+    k.close(pid, fd).unwrap();
+    let _ = k.sync();
+}
+
+fn registry_with_image() -> Arc<Registry> {
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("db", "1")
+            .layer("base")
+            .binary("/bin/sh", 100_000, &[])
+            .text("/etc/base.conf", &"base configuration ".repeat(600))
+            .layer("app")
+            .binary("/usr/sbin/dbd", 5_000_000, &[])
+            .text("/etc/app.conf", &"application settings ".repeat(700))
+            .entrypoint("/usr/sbin/dbd")
+            .build(),
+    );
+    registry
+}
+
+#[test]
+fn n_containers_cost_o_of_upper_writes() {
+    let k = boot_host(SimClock::new());
+    let rt = ContainerRuntime::new(EngineKind::Docker, k.clone(), registry_with_image());
+
+    rt.run("c0", "db:1").unwrap();
+    let after_one = rt.blob_store().stats().physical_bytes;
+    assert!(
+        after_one > 0,
+        "the image's literal content lives in the store"
+    );
+
+    for i in 1..8 {
+        rt.run(&format!("c{i}"), "db:1").unwrap();
+    }
+    let after_eight = rt.blob_store().stats().physical_bytes;
+    assert_eq!(
+        after_eight, after_one,
+        "8 containers of one image must not duplicate lower-layer blobs"
+    );
+
+    // The binaries are sparse: 5.1 MB of image size, no physical bytes.
+    assert!(
+        after_one < 64 * 1024,
+        "only the literal configs are materialized, got {after_one}"
+    );
+
+    // Upper-layer writes grow the store by (roughly) what was written.
+    let c3 = rt.get("c3").unwrap();
+    // Distinct content per chunk — uniform data would (correctly) collapse
+    // into a single deduplicated chunk.
+    let payload: Vec<u8> = (0..16 * CHUNK as usize)
+        .map(|i| (i / CHUNK as usize * 31 + i * 7) as u8)
+        .collect();
+    write_all(&k, c3.pid, "/tmp/scratch", &payload);
+    let after_write = rt.blob_store().stats().physical_bytes;
+    let grown = after_write - after_eight;
+    assert!(
+        (16 * CHUNK..=20 * CHUNK).contains(&grown),
+        "store grew by {grown}, expected ~{}",
+        16 * CHUNK
+    );
+
+    // An identical write in another container dedups against c3's upper.
+    let c5 = rt.get("c5").unwrap();
+    write_all(&k, c5.pid, "/tmp/scratch", &payload);
+    assert_eq!(
+        rt.blob_store().stats().physical_bytes,
+        after_write,
+        "identical upper content dedups across containers"
+    );
+}
+
+#[test]
+fn engines_sharing_a_store_dedup_across_flavours() {
+    let k = boot_host(SimClock::new());
+    let registry = registry_with_image();
+    let store = cntr_overlay::BlobStore::new();
+    let docker = ContainerRuntime::with_store(
+        EngineKind::Docker,
+        k.clone(),
+        registry.clone(),
+        Arc::clone(&store),
+    );
+    let lxc = ContainerRuntime::with_store(EngineKind::Lxc, k, registry, Arc::clone(&store));
+
+    docker.run("a", "db:1").unwrap();
+    let after_docker = store.stats().physical_bytes;
+    lxc.run("b", "db:1").unwrap();
+    assert_eq!(
+        store.stats().physical_bytes,
+        after_docker,
+        "the same image under another engine adds no physical bytes"
+    );
+    assert!(store.stats().dedup_hits > 0);
+}
+
+#[test]
+fn stopped_containers_release_upper_but_not_lowers() {
+    let k = boot_host(SimClock::new());
+    let rt = ContainerRuntime::new(EngineKind::Rkt, k.clone(), registry_with_image());
+    rt.run("tmp", "db:1").unwrap();
+    let baseline = rt.blob_store().stats().physical_bytes;
+    rt.stop("tmp").unwrap();
+    // Lower layers stay cached for the next container; nothing leaked,
+    // nothing was torn down.
+    assert_eq!(rt.blob_store().stats().physical_bytes, baseline);
+    rt.run("again", "db:1").unwrap();
+    assert_eq!(rt.blob_store().stats().physical_bytes, baseline);
+}
+
+#[test]
+fn layers_with_equal_ids_but_different_content_do_not_collide() {
+    let k = boot_host(SimClock::new());
+    let registry = Registry::new();
+    // Both images name their layer "base", but the contents differ.
+    registry.push(
+        ImageBuilder::new("a", "1")
+            .layer("base")
+            .text("/etc/only-in-a", "AAAA")
+            .entrypoint("/etc/only-in-a")
+            .build(),
+    );
+    registry.push(
+        ImageBuilder::new("b", "1")
+            .layer("base")
+            .text("/etc/only-in-b", "BBBB")
+            .entrypoint("/etc/only-in-b")
+            .build(),
+    );
+    let rt = ContainerRuntime::new(EngineKind::Docker, k.clone(), registry);
+    let ca = rt.run("ca", "a:1").unwrap();
+    let cb = rt.run("cb", "b:1").unwrap();
+    assert!(k.stat(ca.pid, "/etc/only-in-a").unwrap().is_file());
+    assert!(k.stat(ca.pid, "/etc/only-in-b").is_err());
+    assert!(k.stat(cb.pid, "/etc/only-in-b").unwrap().is_file());
+    assert!(k.stat(cb.pid, "/etc/only-in-a").is_err());
+}

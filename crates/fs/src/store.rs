@@ -259,7 +259,10 @@ impl FileStore for DiskStore {
 
 /// Iterates page-aligned chunks of a byte range: calls
 /// `f(page_no, offset_in_page, position_in_buffer, chunk_len)`.
-fn for_each_page(offset: u64, len: usize, mut f: impl FnMut(u64, usize, usize, usize)) {
+///
+/// Public so other content backends (the blob store in `cntr-overlay`) can
+/// reuse the exact chunking geometry of the in-tree stores.
+pub fn for_each_page(offset: u64, len: usize, mut f: impl FnMut(u64, usize, usize, usize)) {
     let mut pos = 0usize;
     let mut off = offset;
     while pos < len {
@@ -273,7 +276,7 @@ fn for_each_page(offset: u64, len: usize, mut f: impl FnMut(u64, usize, usize, u
 }
 
 /// Calls `f` for every page fully covered by the hole.
-fn punch_hole_pages(offset: u64, len: u64, mut f: impl FnMut(u64)) {
+pub fn punch_hole_pages(offset: u64, len: u64, mut f: impl FnMut(u64)) {
     let first = offset.div_ceil(BLOCK_SIZE as u64);
     let last = (offset + len) / BLOCK_SIZE as u64;
     for p in first..last {
@@ -283,7 +286,7 @@ fn punch_hole_pages(offset: u64, len: u64, mut f: impl FnMut(u64)) {
 
 /// Calls `f(page_no, in-page range)` for the partial pages at the edges of a
 /// hole.
-fn zero_partial_edges(offset: u64, len: u64, mut f: impl FnMut(u64, std::ops::Range<usize>)) {
+pub fn zero_partial_edges(offset: u64, len: u64, mut f: impl FnMut(u64, std::ops::Range<usize>)) {
     let end = offset + len;
     let first_page = offset / BLOCK_SIZE as u64;
     let last_page = end / BLOCK_SIZE as u64;

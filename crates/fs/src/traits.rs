@@ -155,6 +155,13 @@ pub trait Filesystem: Send + Sync {
     /// Human-readable filesystem type, e.g. `"tmpfs"`, `"ext4"`, `"cntrfs"`.
     fn fs_type(&self) -> &'static str;
 
+    /// Mount-option string as shown in `/proc/<pid>/mounts` (the `opts`
+    /// column). Stacked filesystems override this to expose their layering
+    /// (overlayfs reports `lowerdir=`/`upperdir=`).
+    fn fs_options(&self) -> String {
+        "rw".to_string()
+    }
+
     /// The root inode (by convention [`Ino::ROOT`]).
     fn root_ino(&self) -> Ino {
         Ino::ROOT

@@ -134,8 +134,173 @@ fn apply(fs: &Arc<MemFs>, oracle: &mut HashMap<String, Vec<u8>>, op: &Op) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// OverlayFs equivalence oracle
+// ---------------------------------------------------------------------------
+//
+// An overlay over N lower layers must behave exactly like the *flattened*
+// filesystem (layers applied in order into one MemFs). We seed two layers
+// with overlapping file sets, build both representations, then drive the
+// same random operation sequence against each and require identical
+// outcomes — success/errno, file contents, and directory listings. This is
+// the property that licenses the engine swapping its flat rootfs for the
+// overlay.
+
+mod overlay_oracle {
+    use super::*;
+    use cntr_fs::memfs::memfs;
+    use cntr_overlay::{blobfs, BlobStore, OverlayFs};
+    use cntr_types::Errno;
+
+    /// Initial state: which of the 8 slots exist in each layer, with what
+    /// content seed.
+    #[derive(Debug, Clone)]
+    pub struct Seed {
+        pub base: Vec<(u8, u8)>,
+        pub top: Vec<(u8, u8)>,
+    }
+
+    pub fn seed_strategy() -> impl Strategy<Value = Seed> {
+        (
+            proptest::collection::vec((0u8..8, any::<u8>()), 0..6),
+            proptest::collection::vec((0u8..8, any::<u8>()), 0..6),
+        )
+            .prop_map(|(base, top)| Seed { base, top })
+    }
+
+    fn populate(fs: &dyn Filesystem, files: &[(u8, u8)]) {
+        let ctx = FsContext::root();
+        for &(slot, fill) in files {
+            let n = name(slot);
+            // Later duplicates overwrite earlier ones, as layering would.
+            let ino = match fs.mknod(Ino::ROOT, &n, FileType::Regular, Mode::RW_R__R__, 0, &ctx) {
+                Ok(st) => st.ino,
+                Err(_) => fs.lookup(Ino::ROOT, &n).unwrap().ino,
+            };
+            fs.setattr(ino, &SetAttr::truncate(0), &ctx).unwrap();
+            let fh = fs.open(ino, OpenFlags::WRONLY).unwrap();
+            let content = vec![fill; usize::from(fill) + 1];
+            fs.write(ino, fh, 0, &content).unwrap();
+            fs.release(ino, fh).unwrap();
+        }
+    }
+
+    /// Builds (overlay, flattened-oracle) from one seed.
+    pub fn build(seed: &Seed) -> (Arc<OverlayFs>, Arc<MemFs>) {
+        let clock = SimClock::new();
+        let store = BlobStore::new();
+        let base = blobfs(DevId(31), clock.clone(), store.clone());
+        populate(base.as_ref(), &seed.base);
+        let top = blobfs(DevId(32), clock.clone(), store.clone());
+        populate(top.as_ref(), &seed.top);
+        let upper = blobfs(DevId(33), clock.clone(), store);
+        let overlay = OverlayFs::new(DevId(30), vec![top, base], upper);
+
+        let oracle = memfs(DevId(40), clock);
+        populate(oracle.as_ref(), &seed.base);
+        populate(oracle.as_ref(), &seed.top);
+        (overlay, oracle)
+    }
+
+    fn read_slot(fs: &dyn Filesystem, n: &str) -> Option<Vec<u8>> {
+        let ino = fs.lookup(Ino::ROOT, n).ok()?.ino;
+        let st = fs.getattr(ino).ok()?;
+        let fh = fs.open(ino, OpenFlags::RDONLY).ok()?;
+        let mut buf = vec![0u8; st.size as usize];
+        let got = fs.read(ino, fh, 0, &mut buf).ok()?;
+        fs.release(ino, fh).ok()?;
+        buf.truncate(got);
+        Some(buf)
+    }
+
+    /// Applies `op` to both filesystems and asserts identical outcomes.
+    pub fn apply_both(ovl: &dyn Filesystem, mem: &dyn Filesystem, op: &Op) {
+        let ctx = FsContext::root();
+        let errno = |r: &Result<(), Errno>| *r;
+        match op {
+            Op::Create(slot) => {
+                let n = name(*slot);
+                let a = ovl
+                    .mknod(Ino::ROOT, &n, FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+                    .map(|_| ());
+                let b = mem
+                    .mknod(Ino::ROOT, &n, FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+                    .map(|_| ());
+                assert_eq!(errno(&a), errno(&b), "create {n}");
+            }
+            Op::WriteAt(slot, off, data) => {
+                let n = name(*slot);
+                for fs in [ovl, mem] {
+                    let Ok(st) = fs.lookup(Ino::ROOT, &n) else {
+                        continue;
+                    };
+                    let fh = fs.open(st.ino, OpenFlags::WRONLY).unwrap();
+                    fs.write(st.ino, fh, u64::from(*off), data).unwrap();
+                    fs.release(st.ino, fh).unwrap();
+                }
+            }
+            Op::Truncate(slot, len) => {
+                let n = name(*slot);
+                for fs in [ovl, mem] {
+                    if let Ok(st) = fs.lookup(Ino::ROOT, &n) {
+                        fs.setattr(st.ino, &SetAttr::truncate(u64::from(*len)), &ctx)
+                            .unwrap();
+                    }
+                }
+            }
+            Op::Unlink(slot) => {
+                let n = name(*slot);
+                let a = ovl.unlink(Ino::ROOT, &n);
+                let b = mem.unlink(Ino::ROOT, &n);
+                assert_eq!(a, b, "unlink {n}");
+            }
+            Op::Rename(x, y) => {
+                let (nx, ny) = (name(*x), name(*y));
+                let a = ovl.rename(Ino::ROOT, &nx, Ino::ROOT, &ny, RenameFlags::NONE);
+                let b = mem.rename(Ino::ROOT, &nx, Ino::ROOT, &ny, RenameFlags::NONE);
+                assert_eq!(a, b, "rename {nx} -> {ny}");
+            }
+            Op::Read(slot) => {
+                let n = name(*slot);
+                let a = read_slot(ovl, &n);
+                let b = read_slot(mem, &n);
+                assert_eq!(a, b, "content mismatch for {n}");
+            }
+        }
+    }
+
+    /// Full post-run audit: listings, sizes and contents must agree.
+    pub fn audit(ovl: &dyn Filesystem, mem: &dyn Filesystem) {
+        let list = |fs: &dyn Filesystem| -> Vec<(String, FileType)> {
+            fs.readdir(Ino::ROOT)
+                .unwrap()
+                .into_iter()
+                .map(|d| (d.name, d.ftype))
+                .collect()
+        };
+        let a = list(ovl);
+        let b = list(mem);
+        assert_eq!(a, b, "merged readdir must equal flattened readdir");
+        for (n, _) in a {
+            assert_eq!(read_slot(ovl, &n), read_slot(mem, &n), "content of {n}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overlay_matches_flattened_memfs(
+        seed in overlay_oracle::seed_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let (overlay, oracle) = overlay_oracle::build(&seed);
+        for op in &ops {
+            overlay_oracle::apply_both(overlay.as_ref(), oracle.as_ref(), op);
+        }
+        overlay_oracle::audit(overlay.as_ref(), oracle.as_ref());
+    }
 
     #[test]
     fn memfs_matches_flat_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {

@@ -116,11 +116,15 @@ impl ProcFs {
                 let ns = st.mount_ns.get(&p.ns.mount).ok_or(Errno::EIO)?;
                 let mut out = String::new();
                 for m in ns.iter() {
-                    out.push_str(&format!(
-                        "{} {} rw 0 0\n",
-                        m.fs.fs_type(),
-                        m.id
-                    ));
+                    // The filesystem reports its own option string (stacked
+                    // filesystems expose their layering here); the mount's
+                    // read-only flag overrides the leading rw.
+                    let opts = if m.flags.readonly {
+                        m.fs.fs_options().replacen("rw", "ro", 1)
+                    } else {
+                        m.fs.fs_options()
+                    };
+                    out.push_str(&format!("{} {} {} 0 0\n", m.fs.fs_type(), m.id, opts));
                 }
                 out.into_bytes()
             }
@@ -552,6 +556,67 @@ mod tests {
                 Mode::RW_R__R__
             ),
             Err(Errno::EACCES)
+        );
+    }
+
+    #[test]
+    fn mounts_file_shows_fs_options_and_readonly() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(
+            clock.clone(),
+            fs,
+            CacheMode::native(),
+            KernelConfig::default(),
+        );
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        // An overlay mount advertises its layering in the options column.
+        let store = cntr_overlay::BlobStore::new();
+        let lower = cntr_overlay::blobfs(DevId(21), clock.clone(), store.clone());
+        let upper = cntr_overlay::blobfs(DevId(22), clock.clone(), store);
+        let overlay = cntr_overlay::OverlayFs::new(DevId(23), vec![lower], upper);
+        k.mkdir(Pid::INIT, "/merged", Mode::RWXR_XR_X).unwrap();
+        k.mount_fs(
+            Pid::INIT,
+            "/merged",
+            overlay,
+            CacheMode::native(),
+            MountFlags::default(),
+        )
+        .unwrap();
+        // A read-only mount overrides the leading `rw`.
+        let ro = memfs(DevId(24), clock.clone());
+        k.mkdir(Pid::INIT, "/ro", Mode::RWXR_XR_X).unwrap();
+        k.mount_fs(
+            Pid::INIT,
+            "/ro",
+            ro,
+            CacheMode::native(),
+            MountFlags { readonly: true },
+        )
+        .unwrap();
+
+        let fd = k
+            .open(
+                Pid::INIT,
+                "/proc/1/mounts",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+        k.close(Pid::INIT, fd).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]).to_string();
+        assert!(
+            text.contains("overlay") && text.contains("lowerdir=1xblobfs"),
+            "{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("tmpfs") && l.contains(" ro")),
+            "{text}"
         );
     }
 

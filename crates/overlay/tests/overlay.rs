@@ -1,0 +1,423 @@
+//! Behavioural tests of [`OverlayFs`]: copy-up, whiteouts, opaque
+//! directories, readdir merging, and blob-store dedup across layers.
+
+use cntr_fs::{Filesystem, FsContext, XattrFlags};
+use cntr_overlay::{blobfs, BlobStore, DiffKind, OverlayFs};
+use cntr_types::{
+    DevId, Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, SimClock, Uid,
+};
+use std::sync::Arc;
+
+const CHUNK: usize = 4096;
+
+struct Stack {
+    store: Arc<BlobStore>,
+    lower_base: Arc<dyn Filesystem>,
+    overlay: Arc<OverlayFs>,
+}
+
+/// Builds a two-lower overlay:
+///
+/// * base layer (bottom): `/bin/sh` (2 chunks of 0xAA), `/etc/conf`
+///   ("base-conf"), `/shared/keep`, `/shared/gone`
+/// * app layer (top):     `/app/run`, `/etc/conf` ("app-conf" shadows base)
+fn stack() -> Stack {
+    let store = BlobStore::new();
+    let clock = SimClock::new();
+    let ctx = FsContext::root();
+
+    let base = blobfs(DevId(10), clock.clone(), Arc::clone(&store));
+    let bin = base.mkdir(Ino::ROOT, "bin", Mode::RWXR_XR_X, &ctx).unwrap();
+    let sh = base
+        .mknod(bin.ino, "sh", FileType::Regular, Mode::RWXR_XR_X, 0, &ctx)
+        .unwrap();
+    let fh = base.open(sh.ino, OpenFlags::WRONLY).unwrap();
+    base.write(sh.ino, fh, 0, &[0xAA; 2 * CHUNK]).unwrap();
+    base.release(sh.ino, fh).unwrap();
+    base.setattr(sh.ino, &SetAttr::chmod(Mode::RWXR_XR_X), &ctx)
+        .unwrap();
+    let etc = base.mkdir(Ino::ROOT, "etc", Mode::RWXR_XR_X, &ctx).unwrap();
+    let conf = base
+        .mknod(etc.ino, "conf", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+        .unwrap();
+    let fh = base.open(conf.ino, OpenFlags::WRONLY).unwrap();
+    base.write(conf.ino, fh, 0, b"base-conf").unwrap();
+    base.release(conf.ino, fh).unwrap();
+    let shared = base
+        .mkdir(Ino::ROOT, "shared", Mode::RWXR_XR_X, &ctx)
+        .unwrap();
+    for name in ["keep", "gone"] {
+        base.mknod(
+            shared.ino,
+            name,
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &ctx,
+        )
+        .unwrap();
+    }
+
+    let app = blobfs(DevId(11), clock.clone(), Arc::clone(&store));
+    let appdir = app.mkdir(Ino::ROOT, "app", Mode::RWXR_XR_X, &ctx).unwrap();
+    app.mknod(
+        appdir.ino,
+        "run",
+        FileType::Regular,
+        Mode::RWXR_XR_X,
+        0,
+        &ctx,
+    )
+    .unwrap();
+    let etc = app.mkdir(Ino::ROOT, "etc", Mode::RWXR_XR_X, &ctx).unwrap();
+    let conf = app
+        .mknod(etc.ino, "conf", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+        .unwrap();
+    let fh = app.open(conf.ino, OpenFlags::WRONLY).unwrap();
+    app.write(conf.ino, fh, 0, b"app-conf").unwrap();
+    app.release(conf.ino, fh).unwrap();
+
+    let upper = blobfs(DevId(12), clock, Arc::clone(&store));
+    // Topmost lower first: app shadows base.
+    let overlay = OverlayFs::new(
+        DevId(100),
+        vec![
+            app as Arc<dyn Filesystem>,
+            Arc::clone(&base) as Arc<dyn Filesystem>,
+        ],
+        upper,
+    );
+    Stack {
+        store,
+        lower_base: base,
+        overlay,
+    }
+}
+
+fn resolve(fs: &dyn Filesystem, path: &str) -> Result<cntr_types::Stat, Errno> {
+    let mut ino = Ino::ROOT;
+    let mut st = fs.getattr(ino)?;
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        st = fs.lookup(ino, comp)?;
+        ino = st.ino;
+    }
+    Ok(st)
+}
+
+fn read_all(fs: &dyn Filesystem, path: &str) -> Vec<u8> {
+    let st = resolve(fs, path).unwrap();
+    let fh = fs.open(st.ino, OpenFlags::RDONLY).unwrap();
+    let mut buf = vec![0u8; st.size as usize];
+    let n = fs.read(st.ino, fh, 0, &mut buf).unwrap();
+    fs.release(st.ino, fh).unwrap();
+    buf.truncate(n);
+    buf
+}
+
+fn write_at(fs: &dyn Filesystem, path: &str, offset: u64, data: &[u8]) {
+    let st = resolve(fs, path).unwrap();
+    let fh = fs.open(st.ino, OpenFlags::WRONLY).unwrap();
+    fs.write(st.ino, fh, offset, data).unwrap();
+    fs.release(st.ino, fh).unwrap();
+}
+
+fn names(fs: &dyn Filesystem, path: &str) -> Vec<String> {
+    let st = resolve(fs, path).unwrap();
+    fs.readdir(st.ino)
+        .unwrap()
+        .into_iter()
+        .map(|d| d.name)
+        .collect()
+}
+
+#[test]
+fn merged_view_shadows_and_unions() {
+    let s = stack();
+    // Shadowing: the app layer's /etc/conf wins.
+    assert_eq!(read_all(s.overlay.as_ref(), "/etc/conf"), b"app-conf");
+    // Union at the root: entries from both layers.
+    assert_eq!(
+        names(s.overlay.as_ref(), "/"),
+        vec!["app", "bin", "etc", "shared"]
+    );
+    // Base-only content is visible.
+    assert_eq!(
+        read_all(s.overlay.as_ref(), "/bin/sh"),
+        vec![0xAA; 2 * CHUNK]
+    );
+}
+
+#[test]
+fn inode_numbers_are_stable_across_lookups_and_copy_up() {
+    let s = stack();
+    let before = resolve(s.overlay.as_ref(), "/bin/sh").unwrap();
+    let again = resolve(s.overlay.as_ref(), "/bin/sh").unwrap();
+    assert_eq!(before.ino, again.ino);
+    write_at(s.overlay.as_ref(), "/bin/sh", 0, b"patched");
+    let after = resolve(s.overlay.as_ref(), "/bin/sh").unwrap();
+    assert_eq!(before.ino, after.ino, "copy-up must not change st_ino");
+    assert_eq!(before.dev, after.dev);
+}
+
+#[test]
+fn copy_up_on_write_leaves_lower_untouched_and_dedups() {
+    let s = stack();
+    let physical_before = s.store.stats().physical_bytes;
+    // Overwrite 7 bytes of the first chunk of the 2-chunk file.
+    write_at(s.overlay.as_ref(), "/bin/sh", 0, b"patched");
+    let mut want = vec![0xAA; 2 * CHUNK];
+    want[..7].copy_from_slice(b"patched");
+    assert_eq!(read_all(s.overlay.as_ref(), "/bin/sh"), want);
+    // The lower layer still has the pristine file.
+    assert_eq!(
+        read_all(s.lower_base.as_ref(), "/bin/sh"),
+        vec![0xAA; 2 * CHUNK]
+    );
+    // The unmodified second chunk deduped against the lower copy: only one
+    // new chunk was stored.
+    let physical_after = s.store.stats().physical_bytes;
+    assert_eq!(
+        physical_after - physical_before,
+        CHUNK as u64,
+        "copy-up of the unmodified chunk must be a refcount bump"
+    );
+}
+
+#[test]
+fn copy_up_preserves_ownership_mode_and_xattrs() {
+    let s = stack();
+    let ctx = FsContext::root();
+    // Stamp distinctive metadata on the lower file via the lower fs.
+    let lsh = resolve(s.lower_base.as_ref(), "/bin/sh").unwrap();
+    s.lower_base
+        .setattr(lsh.ino, &SetAttr::chown(Uid(1234), Gid(5678)), &ctx)
+        .unwrap();
+    s.lower_base
+        .setattr(lsh.ino, &SetAttr::chmod(Mode::new(0o4755)), &ctx)
+        .unwrap();
+    s.lower_base
+        .setxattr(lsh.ino, "user.origin", b"base", XattrFlags::Any)
+        .unwrap();
+
+    // Any root-driven write copies the file up...
+    write_at(s.overlay.as_ref(), "/bin/sh", CHUNK as u64, b"x");
+    let st = resolve(s.overlay.as_ref(), "/bin/sh").unwrap();
+    // ...but the copy keeps the *original* owner, not the writer's.
+    assert_eq!(st.uid, Uid(1234), "copy-up ownership stamping");
+    assert_eq!(st.gid, Gid(5678));
+    assert_eq!(st.mode.bits() & 0o777, 0o755);
+    assert_eq!(
+        s.overlay.getxattr(st.ino, "user.origin").unwrap(),
+        b"base",
+        "xattrs survive copy-up"
+    );
+}
+
+#[test]
+fn unlink_of_lower_file_creates_whiteout() {
+    let s = stack();
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    s.overlay.unlink(shared.ino, "gone").unwrap();
+    assert_eq!(
+        resolve(s.overlay.as_ref(), "/shared/gone").unwrap_err(),
+        Errno::ENOENT
+    );
+    assert_eq!(names(s.overlay.as_ref(), "/shared"), vec!["keep"]);
+    // The lower layer still has the file; the upper has a 0/0 chardev.
+    assert!(resolve(s.lower_base.as_ref(), "/shared/gone").is_ok());
+    let wh = resolve(s.overlay.upper_layer().as_ref(), "/shared/gone").unwrap();
+    assert_eq!(wh.ftype, FileType::CharDevice);
+    assert_eq!(wh.rdev, 0);
+    // The diff reports it as a whiteout.
+    let diff = s.overlay.upper_diff();
+    assert!(diff
+        .iter()
+        .any(|e| e.path == "/shared/gone" && e.kind == DiffKind::Whiteout));
+}
+
+#[test]
+fn recreate_after_unlink_is_independent_of_lower() {
+    let s = stack();
+    let ctx = FsContext::root();
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    s.overlay.unlink(shared.ino, "gone").unwrap();
+    let st = s
+        .overlay
+        .mknod(
+            shared.ino,
+            "gone",
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &ctx,
+        )
+        .unwrap();
+    assert_eq!(st.size, 0, "fresh file, not the lower one");
+    assert_eq!(names(s.overlay.as_ref(), "/shared"), vec!["gone", "keep"]);
+}
+
+#[test]
+fn rmdir_of_merged_dir_whiteouts_and_mkdir_is_opaque() {
+    let s = stack();
+    let root = Ino::ROOT;
+    let ctx = FsContext::root();
+    // /shared is non-empty.
+    assert_eq!(
+        s.overlay.rmdir(root, "shared").unwrap_err(),
+        Errno::ENOTEMPTY
+    );
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    s.overlay.unlink(shared.ino, "keep").unwrap();
+    s.overlay.unlink(shared.ino, "gone").unwrap();
+    s.overlay.rmdir(root, "shared").unwrap();
+    assert_eq!(
+        resolve(s.overlay.as_ref(), "/shared").unwrap_err(),
+        Errno::ENOENT
+    );
+
+    // Recreating the directory must NOT resurrect lower children.
+    s.overlay
+        .mkdir(root, "shared", Mode::RWXR_XR_X, &ctx)
+        .unwrap();
+    assert_eq!(names(s.overlay.as_ref(), "/shared"), Vec::<String>::new());
+    // The new upper dir carries the opaque marker (hidden from the overlay
+    // view itself).
+    let upper_shared = resolve(s.overlay.upper_layer().as_ref(), "/shared").unwrap();
+    assert!(s
+        .overlay
+        .upper_layer()
+        .getxattr(upper_shared.ino, "trusted.overlay.opaque")
+        .is_ok());
+    let ovl_shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    assert_eq!(
+        s.overlay.listxattr(ovl_shared.ino).unwrap(),
+        Vec::<String>::new(),
+        "trusted.overlay.* is filtered from the overlay view"
+    );
+}
+
+#[test]
+fn rename_of_lower_file_whiteouts_source() {
+    let s = stack();
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    s.overlay
+        .rename(shared.ino, "keep", shared.ino, "kept", RenameFlags::NONE)
+        .unwrap();
+    assert_eq!(names(s.overlay.as_ref(), "/shared"), vec!["gone", "kept"]);
+    assert!(resolve(s.lower_base.as_ref(), "/shared/keep").is_ok());
+}
+
+#[test]
+fn rename_of_merged_directory_deep_copies() {
+    let s = stack();
+    s.overlay
+        .rename(Ino::ROOT, "shared", Ino::ROOT, "moved", RenameFlags::NONE)
+        .unwrap();
+    assert_eq!(names(s.overlay.as_ref(), "/moved"), vec!["gone", "keep"]);
+    assert_eq!(
+        resolve(s.overlay.as_ref(), "/shared").unwrap_err(),
+        Errno::ENOENT
+    );
+    assert_eq!(
+        names(s.overlay.as_ref(), "/"),
+        vec!["app", "bin", "etc", "moved"]
+    );
+    // The lower tree is untouched.
+    assert!(resolve(s.lower_base.as_ref(), "/shared/keep").is_ok());
+}
+
+#[test]
+fn truncate_of_lower_file_copies_up_without_data() {
+    let s = stack();
+    let ctx = FsContext::root();
+    let physical_before = s.store.stats().physical_bytes;
+    let st = resolve(s.overlay.as_ref(), "/bin/sh").unwrap();
+    s.overlay
+        .setattr(st.ino, &SetAttr::truncate(0), &ctx)
+        .unwrap();
+    assert_eq!(resolve(s.overlay.as_ref(), "/bin/sh").unwrap().size, 0);
+    assert_eq!(
+        s.store.stats().physical_bytes,
+        physical_before,
+        "truncate-to-zero copy-up must not copy data"
+    );
+    assert_eq!(
+        read_all(s.lower_base.as_ref(), "/bin/sh"),
+        vec![0xAA; 2 * CHUNK]
+    );
+}
+
+#[test]
+fn stale_read_through_preexisting_handle_is_the_linux_quirk() {
+    let s = stack();
+    let st = resolve(s.overlay.as_ref(), "/etc/conf").unwrap();
+    let rfh = s.overlay.open(st.ino, OpenFlags::RDONLY).unwrap();
+    write_at(s.overlay.as_ref(), "/etc/conf", 0, b"NEW!-conf");
+    let mut buf = [0u8; 9];
+    s.overlay.read(st.ino, rfh, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"app-conf\0", "pre-copy-up handle reads lower data");
+    s.overlay.release(st.ino, rfh).unwrap();
+    assert_eq!(read_all(s.overlay.as_ref(), "/etc/conf"), b"NEW!-conf");
+}
+
+#[test]
+fn access_tracking_records_read_paths() {
+    let s = stack();
+    s.overlay.set_access_tracking(true);
+    let _ = read_all(s.overlay.as_ref(), "/etc/conf");
+    let _ = read_all(s.overlay.as_ref(), "/bin/sh");
+    write_at(s.overlay.as_ref(), "/app/run", 0, b"!");
+    s.overlay.set_access_tracking(false);
+    let acc = s.overlay.accessed_paths();
+    assert!(acc.contains("/etc/conf"));
+    assert!(acc.contains("/bin/sh"));
+    assert!(!acc.contains("/shared/keep"));
+}
+
+#[test]
+fn upper_diff_reports_only_the_write_set() {
+    let s = stack();
+    write_at(s.overlay.as_ref(), "/etc/conf", 0, b"X");
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    s.overlay.unlink(shared.ino, "gone").unwrap();
+    let diff = s.overlay.upper_diff();
+    let paths: Vec<&str> = diff.iter().map(|e| e.path.as_str()).collect();
+    assert!(paths.contains(&"/etc/conf"));
+    assert!(paths.contains(&"/shared/gone"));
+    // Untouched lower files never appear.
+    assert!(!paths.contains(&"/bin/sh"));
+    assert!(!paths.contains(&"/app/run"));
+}
+
+#[test]
+fn link_copies_up_and_links_in_upper() {
+    let s = stack();
+    let st = resolve(s.overlay.as_ref(), "/shared/keep").unwrap();
+    let etc = resolve(s.overlay.as_ref(), "/etc").unwrap();
+    let linked = s.overlay.link(st.ino, etc.ino, "keep-link").unwrap();
+    assert_eq!(linked.ino, st.ino, "hard link shares the overlay inode");
+    assert_eq!(linked.nlink, 2);
+    write_at(s.overlay.as_ref(), "/etc/keep-link", 0, b"via-link");
+    assert_eq!(read_all(s.overlay.as_ref(), "/shared/keep"), b"via-link");
+}
+
+#[test]
+fn exchange_swaps_upper_and_lower_entries() {
+    let s = stack();
+    let etc = resolve(s.overlay.as_ref(), "/etc").unwrap();
+    let shared = resolve(s.overlay.as_ref(), "/shared").unwrap();
+    write_at(s.overlay.as_ref(), "/shared/keep", 0, b"KEEP");
+    s.overlay
+        .rename(etc.ino, "conf", shared.ino, "keep", RenameFlags::EXCHANGE)
+        .unwrap();
+    assert_eq!(read_all(s.overlay.as_ref(), "/etc/conf"), b"KEEP");
+    assert_eq!(read_all(s.overlay.as_ref(), "/shared/keep"), b"app-conf");
+}
+
+#[test]
+fn statfs_and_fs_identity() {
+    let s = stack();
+    assert_eq!(s.overlay.fs_type(), "overlay");
+    assert!(s.overlay.fs_options().contains("lowerdir=2x"));
+    assert!(s.overlay.statfs().unwrap().blocks > 0);
+}

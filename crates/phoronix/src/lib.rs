@@ -17,7 +17,7 @@
 //! * the rest are bounded by the page cache or the disk on both sides and
 //!   land near 1.0×.
 //!
-//! [`env`] builds the two targets; [`suite`] implements the workloads and
+//! [`mod@env`] builds the two targets; [`suite`] implements the workloads and
 //! the Figure 2/3/4 runners.
 
 pub mod env;

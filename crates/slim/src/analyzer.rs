@@ -3,7 +3,8 @@
 use cntr_engine::image::{FileEntry, Image, ImageConfig, Layer, NodeSpec};
 use cntr_engine::ContainerRuntime;
 use cntr_kernel::Kernel;
-use cntr_types::{Mode, OpenFlags, SysResult};
+use cntr_overlay::DiffKind;
+use cntr_types::{FileType, Mode, OpenFlags, SysResult};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -85,10 +86,15 @@ impl DockerSlim {
         keep
     }
 
-    /// **Dynamic analysis**: instruments the container with fanotify, runs
-    /// the profiling workload (the "manually ran the application so it would
-    /// load all the required files" step of §5.3), and returns the set of
-    /// accessed paths.
+    /// **Dynamic analysis**: runs the profiling workload (the "manually ran
+    /// the application so it would load all the required files" step of
+    /// §5.3) and returns the set of accessed paths.
+    ///
+    /// For overlay-backed containers the data comes straight from the
+    /// storage layer: the overlay records read accesses per layer object,
+    /// and the container's write set is obtained by **diffing the upper
+    /// layer directly** — no replaying of access logs against a flattened
+    /// tree. Containers on other mounts fall back to fanotify recording.
     pub fn dynamic_analysis(
         &self,
         rt: &ContainerRuntime,
@@ -97,6 +103,20 @@ impl DockerSlim {
     ) -> SysResult<BTreeSet<String>> {
         let k = rt.kernel();
         let pid = rt.resolve(container)?;
+        if let Ok(overlay) = rt.overlay_of(container) {
+            overlay.set_access_tracking(true);
+            profile_workload(k, pid, image);
+            overlay.set_access_tracking(false);
+            let mut accessed = overlay.accessed_paths();
+            for d in overlay.upper_diff() {
+                if let DiffKind::Upsert(ftype) = d.kind {
+                    if ftype != FileType::Directory {
+                        accessed.insert(d.path);
+                    }
+                }
+            }
+            return Ok(accessed);
+        }
         k.fanotify_start();
         profile_workload(k, pid, image);
         let events = k.fanotify_stop();

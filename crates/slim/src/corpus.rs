@@ -1,7 +1,7 @@
 //! A deterministic synthetic Top-50 Docker Hub corpus.
 //!
 //! The paper evaluates Docker Slim on "the Top-50 popular official container
-//! images hosted on Docker Hub ... maintained by Docker and contain[ing]
+//! images hosted on Docker Hub ... maintained by Docker and contain\[ing\]
 //! commonly used applications such as web servers, databases and web
 //! applications" (§5.3). The images themselves are not redistributable, so
 //! this corpus reproduces their *structure*: an application binary plus its
@@ -188,6 +188,14 @@ fn build_go_image(rng: &mut SmallRng, name: &str) -> Arc<Image> {
 /// Runs the whole Figure-5 experiment: boots a host, starts each corpus
 /// container, profiles it, and slims it. Returns one report per image.
 pub fn run_figure5() -> Vec<SlimReport> {
+    run_figure5_detailed().0
+}
+
+/// [`run_figure5`] plus the blob-store statistics of the run: all 50
+/// corpus containers execute over shared overlay layers, so the stats
+/// capture how much the content-addressed store deduplicated across the
+/// whole Top-50 (the distro base layers repeat across images).
+pub fn run_figure5_detailed() -> (Vec<SlimReport>, cntr_overlay::BlobStoreStats) {
     let corpus = top50_corpus();
     let k = boot_host(SimClock::new());
     let registry = Registry::new();
@@ -196,7 +204,7 @@ pub fn run_figure5() -> Vec<SlimReport> {
     }
     let rt = ContainerRuntime::new(EngineKind::Docker, k, registry);
     let slim = DockerSlim::new();
-    corpus
+    let reports = corpus
         .iter()
         .map(|c| {
             let cname = format!("c-{}", c.image.name);
@@ -206,7 +214,8 @@ pub fn run_figure5() -> Vec<SlimReport> {
             rt.stop(&cname).expect("container stops");
             report
         })
-        .collect()
+        .collect();
+    (reports, rt.blob_store().stats())
 }
 
 /// Summary statistics over Figure-5 reports.

@@ -155,6 +155,119 @@ pub fn cntrfs_over_tmpfs() -> TestEnv {
     }
 }
 
+/// Builds a native-OverlayFs environment: two blob-backed read-only lowers
+/// (one with pre-existing content so merge/copy-up paths are live) under a
+/// blob-backed upper, mounted at `/mnt/overlay`.
+pub fn native_overlayfs() -> TestEnv {
+    let k = boot_host(SimClock::new());
+    let pid = k.fork(Pid::INIT).expect("fork test proc");
+    k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");
+    k.mkdir(pid, "/mnt/overlay", Mode::RWXR_XR_X)
+        .expect("mkdir");
+    let overlay = build_overlay(k.clock().clone(), 0xA000);
+    k.mount_fs(
+        pid,
+        "/mnt/overlay",
+        overlay,
+        CacheMode::native(),
+        MountFlags::default(),
+    )
+    .expect("mount");
+    k.mkdir(pid, "/mnt/overlay/xfstests", Mode::RWXR_XR_X)
+        .expect("scratch dir");
+    TestEnv {
+        kernel: k,
+        pid,
+        mnt: "/mnt/overlay/xfstests".to_string(),
+        cur: Mutex::new(String::new()),
+        fs_type: "overlay (native)".to_string(),
+    }
+}
+
+/// Builds the paper's environment over the new storage backend: CntrFS
+/// mounted on top of an **OverlayFs** (instead of tmpfs). The 90/94 split
+/// must be identical — the four failures are CntrFS architectural limits,
+/// not properties of the backing filesystem.
+pub fn cntrfs_over_overlayfs() -> TestEnv {
+    let k = boot_host(SimClock::new());
+    let pid = k.fork(Pid::INIT).expect("fork test proc");
+    // The backing overlay replaces tmpfs under the server's /xfstests.
+    k.mkdir(Pid::INIT, "/xfstests", Mode::RWXR_XR_X)
+        .expect("backing dir");
+    let overlay = build_overlay(k.clock().clone(), 0xB000);
+    k.mount_fs(
+        Pid::INIT,
+        "/xfstests",
+        overlay,
+        CacheMode::native(),
+        MountFlags::default(),
+    )
+    .expect("mount backing overlay");
+
+    k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir /mnt");
+    k.mkdir(pid, "/mnt/cntrfs", Mode::RWXR_XR_X)
+        .expect("mkdir mnt");
+    let server_pid = k.fork(Pid::INIT).expect("fork server");
+    let server = CntrfsServer::new(k.clone(), server_pid);
+    let transport = InlineTransport::new(server);
+    let client = FuseClientFs::mount(
+        DevId(0xCFFE),
+        k.clock().clone(),
+        k.cost(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .expect("mount cntrfs");
+    let flags = client.effective_flags();
+    let cache = CacheMode {
+        writeback: flags.writeback_cache,
+        keep_cache: flags.keep_cache,
+        synthetic: false,
+    };
+    k.mount_fs(pid, "/mnt/cntrfs", client, cache, MountFlags::default())
+        .expect("mount");
+    TestEnv {
+        kernel: k,
+        pid,
+        mnt: "/mnt/cntrfs/xfstests".to_string(),
+        cur: Mutex::new(String::new()),
+        fs_type: "cntrfs (over overlayfs)".to_string(),
+    }
+}
+
+/// Assembles the overlay-under-test: lower0 carries preseeded files (so
+/// lookups traverse the merge path), lower1 is an empty base, the upper is
+/// writable; all three share one blob store.
+fn build_overlay(clock: SimClock, dev_base: u64) -> std::sync::Arc<cntr_overlay::OverlayFs> {
+    use cntr_fs::Filesystem;
+    let store = cntr_overlay::BlobStore::new();
+    let ctx = cntr_fs::FsContext::root();
+    let seeded = cntr_overlay::blobfs(DevId(dev_base + 1), clock.clone(), store.clone());
+    let dir = seeded
+        .mkdir(cntr_types::Ino::ROOT, "preexisting", Mode::RWXR_XR_X, &ctx)
+        .expect("seed dir");
+    let f = seeded
+        .mknod(
+            dir.ino,
+            "lower-file",
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &ctx,
+        )
+        .expect("seed file");
+    let fh = seeded
+        .open(f.ino, cntr_types::OpenFlags::WRONLY)
+        .expect("open");
+    seeded
+        .write(f.ino, fh, 0, b"from the lower layer")
+        .expect("write");
+    seeded.release(f.ino, fh).expect("release");
+    let base = cntr_overlay::blobfs(DevId(dev_base + 2), clock.clone(), store.clone());
+    let upper = cntr_overlay::blobfs(DevId(dev_base + 3), clock, store);
+    cntr_overlay::OverlayFs::new(DevId(dev_base), vec![seeded, base], upper)
+}
+
 /// Builds a native-tmpfs environment (control: all 94 tests pass).
 pub fn native_tmpfs() -> TestEnv {
     let k = boot_host(SimClock::new());

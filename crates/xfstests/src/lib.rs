@@ -20,5 +20,8 @@
 pub mod harness;
 pub mod suite;
 
-pub use harness::{cntrfs_over_tmpfs, native_tmpfs, Outcome, SuiteReport, TestCase, TestEnv};
+pub use harness::{
+    cntrfs_over_overlayfs, cntrfs_over_tmpfs, native_overlayfs, native_tmpfs, Outcome, SuiteReport,
+    TestCase, TestEnv,
+};
 pub use suite::all_tests;

@@ -6,7 +6,9 @@
 //! rather than only skewing a regenerated table.
 
 use cntr_xfstests::harness::run_suite;
-use cntr_xfstests::{all_tests, cntrfs_over_tmpfs, native_tmpfs};
+use cntr_xfstests::{
+    all_tests, cntrfs_over_overlayfs, cntrfs_over_tmpfs, native_overlayfs, native_tmpfs,
+};
 
 #[test]
 fn cntrfs_over_tmpfs_passes_at_least_90_of_94() {
@@ -42,4 +44,35 @@ fn native_tmpfs_passes_everything() {
         "control run must be clean; failures: {:?}",
         report.failed_ids()
     );
+}
+
+#[test]
+fn native_overlayfs_passes_everything() {
+    let cases = all_tests();
+    let report = run_suite(&native_overlayfs(), &cases);
+    assert_eq!(
+        report.passed(),
+        report.results.len(),
+        "OverlayFs must be POSIX-equivalent to a flat filesystem; failures: {:?}",
+        report.failed_ids()
+    );
+}
+
+#[test]
+fn cntrfs_over_overlayfs_keeps_the_90_of_94_split() {
+    let cases = all_tests();
+    let report = run_suite(&cntrfs_over_overlayfs(), &cases);
+    let expected: Vec<u32> = cases
+        .iter()
+        .filter(|c| c.expected_cntrfs_failure.is_some())
+        .map(|c| c.id)
+        .collect();
+    assert_eq!(
+        report.failed_ids(),
+        expected,
+        "swapping tmpfs for OverlayFs under CntrFS must not change the \
+         90/94 split — the four failures are CntrFS limits, not backing-fs \
+         properties"
+    );
+    assert_eq!(report.passed(), 90);
 }

@@ -57,6 +57,7 @@ pub use cntr_engine as engine;
 pub use cntr_fs as fs;
 pub use cntr_fuse as fuse;
 pub use cntr_kernel as kernel;
+pub use cntr_overlay as overlay;
 pub use cntr_phoronix as phoronix;
 pub use cntr_slim as slim;
 pub use cntr_types as types;
