@@ -113,6 +113,59 @@ fn bench_merged_readdir_and_lookup(c: &mut Criterion) {
     group.finish();
 }
 
+/// An overlay of `layers` lowers where only the bottom layer holds the
+/// files: the worst case for uncached lookups (every layer consulted per
+/// miss) and the best showcase for the dentry + negative-lookup cache.
+fn overlay_deep_stack(layers: usize, files: usize) -> Arc<OverlayFs> {
+    let clock = SimClock::new();
+    let store = BlobStore::new();
+    let ctx = FsContext::root();
+    let mut lowers: Vec<Arc<dyn Filesystem>> = Vec::new();
+    for l in 0..layers {
+        let fs = blobfs(DevId(10 + l as u64), clock.clone(), store.clone());
+        if l == layers - 1 {
+            for i in 0..files {
+                fs.mknod(
+                    Ino::ROOT,
+                    &format!("file{i}"),
+                    FileType::Regular,
+                    Mode::RW_R__R__,
+                    0,
+                    &ctx,
+                )
+                .unwrap();
+            }
+        }
+        lowers.push(fs);
+    }
+    let upper = blobfs(DevId(9), clock, store);
+    OverlayFs::new(DevId(8), lowers, upper)
+}
+
+/// Hot lookups on an 8-layer stack: positive hits cost one `getattr`
+/// against the primary realization, negative hits cost nothing — neither
+/// pays the O(layers) per-layer `lookup` of the cold path.
+fn bench_dentry_cache(c: &mut Criterion) {
+    let overlay = overlay_deep_stack(8, 64);
+    let mut group = c.benchmark_group("overlay");
+    let mut i = 0u64;
+    group.bench_function("lookup_8layers_hot", |b| {
+        b.iter(|| {
+            i += 1;
+            overlay
+                .lookup(Ino::ROOT, &format!("file{}", i % 64))
+                .unwrap()
+        })
+    });
+    group.bench_function("negative_lookup_8layers_hot", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(overlay.lookup(Ino::ROOT, &format!("absent{}", i % 64)))
+        })
+    });
+    group.finish();
+}
+
 /// Not a timing benchmark: prints the dedup ratio for N containers of one
 /// image, the headline number of the subsystem.
 fn report_container_dedup(_c: &mut Criterion) {
@@ -151,6 +204,7 @@ criterion_group!(
     bench_blob_ingest,
     bench_copy_up,
     bench_merged_readdir_and_lookup,
+    bench_dentry_cache,
     report_container_dedup
 );
 criterion_main!(benches);

@@ -1086,4 +1086,68 @@ mod tests {
         let n = fs.read(st.ino, fh, 0, &mut buf).unwrap();
         assert_eq!(&buf[..n], b"threads");
     }
+
+    /// 8 caller threads over one client on a 4-worker [`ThreadedTransport`]:
+    /// the entry/attr caches and the nlookup/forget accounting must stay
+    /// consistent under real concurrent dispatch (ROADMAP: "stress-test the
+    /// client caches under that concurrency").
+    #[test]
+    fn threaded_client_cache_stress() {
+        let clock = SimClock::new();
+        let backing = memfs(DevId(1), clock.clone());
+        let transport = Arc::new(crate::conn::ThreadedTransport::new(
+            FsHandler::new(backing),
+            4,
+        ));
+        let fs = FuseClientFs::mount(
+            DevId(100),
+            clock,
+            CostModel::calibrated(),
+            FuseConfig::optimized(),
+            transport,
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let name = format!("file-{t}");
+                let payload = name.clone().into_bytes();
+                let st = fs
+                    .mknod(
+                        Ino::ROOT,
+                        &name,
+                        FileType::Regular,
+                        Mode::RW_R__R__,
+                        0,
+                        &root_ctx(),
+                    )
+                    .unwrap();
+                for round in 0..50 {
+                    let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+                    fs.write(st.ino, fh, 0, &payload).unwrap();
+                    let mut buf = [0u8; 32];
+                    let n = fs.read(st.ino, fh, 0, &mut buf).unwrap();
+                    assert_eq!(&buf[..n], &payload[..], "read own write, round {round}");
+                    fs.release(st.ino, fh).unwrap();
+                    // Lookup churn across every thread's files exercises the
+                    // shared entry cache; our own must always resolve.
+                    let looked = fs.lookup(Ino::ROOT, &name).unwrap();
+                    assert_eq!(looked.ino, st.ino, "entry cache must stay coherent");
+                    let _ = fs.lookup(Ino::ROOT, &format!("file-{}", (t + round) % 8));
+                    assert_eq!(fs.getattr(st.ino).unwrap().size, payload.len() as u64);
+                }
+                st.ino
+            }));
+        }
+        let inos: Vec<Ino> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All files exist, contents survived the churn, counters add up.
+        for (t, ino) in inos.iter().enumerate() {
+            let st = fs.lookup(Ino::ROOT, &format!("file-{t}")).unwrap();
+            assert_eq!(st.ino, *ino);
+        }
+        let stats = fs.stats();
+        assert!(stats.entry_hits + stats.entry_misses > 0);
+        assert!(fs.conn_stats().total() > 0);
+    }
 }

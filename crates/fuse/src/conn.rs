@@ -174,10 +174,28 @@ impl<H: FuseHandler> Transport for InlineTransport<H> {
 
 type Job = (Request, Sender<Reply>);
 
+/// Connection ids for worker re-entrancy detection (0 = not a worker).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The connection id this thread serves as a worker, if any.
+    static WORKER_OF: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Real-thread transport: `workers` threads pull requests off a shared
 /// queue, as in a real multithreaded FUSE daemon.
+///
+/// A request issued *from one of this connection's own workers* (the
+/// server's backing I/O tripped page-cache writeback of dirty FUSE pages,
+/// re-entering the mount it is itself serving) executes inline on that
+/// worker instead of being queued: queueing it behind the very request the
+/// worker is blocked on is the classic FUSE writeback deadlock, which the
+/// real kernel likewise refuses to create.
 pub struct ThreadedTransport {
+    id: u64,
     tx: Sender<Job>,
+    /// Handler clone for re-entrant (worker-originated) requests.
+    reentrant: Box<dyn Fn(Request) -> Reply + Send + Sync>,
     alive: Arc<AtomicBool>,
     stats: Arc<ConnStats>,
     workers: Vec<JoinHandle<()>>,
@@ -185,7 +203,8 @@ pub struct ThreadedTransport {
 
 impl ThreadedTransport {
     /// Spawns `workers` threads serving `handler`.
-    pub fn new<H: FuseHandler + Clone>(handler: H, workers: usize) -> ThreadedTransport {
+    pub fn new<H: FuseHandler + Clone + 'static>(handler: H, workers: usize) -> ThreadedTransport {
+        let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded::<Job>();
         let alive = Arc::new(AtomicBool::new(true));
         let stats = Arc::new(ConnStats::default());
@@ -195,6 +214,7 @@ impl ThreadedTransport {
                 let handler = handler.clone();
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
+                    WORKER_OF.with(|w| w.set(id));
                     while let Ok((req, reply_tx)) = rx.recv() {
                         let reply = handler.handle(req.clone());
                         stats.record(&req, &reply);
@@ -203,8 +223,11 @@ impl ThreadedTransport {
                 })
             })
             .collect();
+        let reentrant_handler = handler;
         ThreadedTransport {
+            id,
             tx,
+            reentrant: Box::new(move |req| reentrant_handler.handle(req)),
             alive,
             stats,
             workers: handles,
@@ -220,12 +243,24 @@ impl ThreadedTransport {
             let _ = w.join();
         }
     }
+
+    /// Number of live worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
 }
 
 impl Transport for ThreadedTransport {
     fn call(&self, req: Request) -> Reply {
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
+        }
+        if WORKER_OF.with(std::cell::Cell::get) == self.id {
+            // Re-entrant request from one of our own workers: execute it on
+            // this thread rather than deadlocking the pool (see type docs).
+            let reply = (self.reentrant)(req.clone());
+            self.stats.record(&req, &reply);
+            return reply;
         }
         let (reply_tx, reply_rx) = bounded(1);
         if self.tx.send((req, reply_tx)).is_err() {

@@ -10,9 +10,9 @@
 //!   (`FUSE_WRITEBACK_CACHE`, `FUSE_PARALLEL_DIROPS`, `FUSE_ASYNC_READ`,
 //!   splice, batched `FORGET`),
 //! * [`conn`] — the `/dev/fuse` queue with two transports: **inline**
-//!   (deterministic, used by every virtual-time experiment) and
-//!   **threaded** (real worker threads over crossbeam channels, used by
-//!   stress tests),
+//!   (deterministic, same-thread) and **threaded** (real worker threads
+//!   over crossbeam channels, with FUSE-writeback re-entrancy avoidance —
+//!   used by the Figure 4 runner and the concurrency stress tests),
 //! * [`client`] — the kernel half: a [`cntr_fs::Filesystem`] implementation
 //!   that turns VFS calls into FUSE requests, with entry/attr caches,
 //!   readahead, forget batching and the cost accounting that makes the

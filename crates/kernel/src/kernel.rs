@@ -13,12 +13,14 @@ use crate::pagecache::{PageCache, PageCacheStats};
 use crate::pipe::Pipe;
 use crate::process::{FdEntry, FileKind, OpenFile, Process, ProcessState, VfsLoc};
 use crate::socket::{SocketEnd, SocketListener};
+use crate::table::{MountTable, ProcTable, DEFAULT_PROC_SHARDS};
 use cntr_fs::Filesystem;
 use cntr_types::{
     Capability, CostModel, DevId, Errno, Ino, OpenFlags, Pid, RlimitSet, SimClock, SysResult,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tunables of a simulated machine.
@@ -31,6 +33,10 @@ pub struct KernelConfig {
     pub page_cache_bytes: u64,
     /// Dirty-page threshold that triggers background writeback.
     pub dirty_limit_bytes: u64,
+    /// Process-table shards (rounded up to a power of two). More shards
+    /// let syscalls against unrelated pids run concurrently; `1` recreates
+    /// the old giant-lock behaviour for comparison benchmarks.
+    pub proc_shards: usize,
 }
 
 impl Default for KernelConfig {
@@ -39,23 +45,9 @@ impl Default for KernelConfig {
             cost: CostModel::calibrated(),
             page_cache_bytes: 12 << 30,
             dirty_limit_bytes: 64 << 20,
+            proc_shards: DEFAULT_PROC_SHARDS,
         }
     }
-}
-
-pub(crate) struct KState {
-    pub processes: HashMap<Pid, Process>,
-    pub next_pid: u32,
-    pub mount_ns: HashMap<NamespaceId, MountNs>,
-    pub next_ns: u64,
-    pub next_mount: u64,
-    pub cgroups: CgroupTree,
-    pub hostnames: HashMap<NamespaceId, String>,
-    /// Listening Unix sockets, keyed by the socket inode they are bound to.
-    pub socket_nodes: HashMap<(DevId, Ino), Arc<SocketListener>>,
-    /// fanotify-style access recording (Docker Slim's mechanism): when
-    /// armed, successful opens/execs append events here.
-    pub fanotify: Option<Vec<FanotifyEvent>>,
 }
 
 /// One recorded file access (fanotify `FAN_OPEN`/`FAN_OPEN_EXEC`).
@@ -69,11 +61,27 @@ pub struct FanotifyEvent {
     pub path: String,
 }
 
+/// The kernel's shared state, decomposed into independently locked
+/// subsystems (see [`crate::table`] for the lock-ordering discipline).
 pub(crate) struct KernelInner {
     pub clock: SimClock,
     pub cost: CostModel,
     pub page_cache: PageCache,
-    pub state: Mutex<KState>,
+    /// The pid-sharded process table.
+    pub procs: ProcTable,
+    /// Per-namespace mount tables.
+    pub mounts: MountTable,
+    /// Namespace-id allocator (all seven kinds share the number space).
+    pub next_ns: AtomicU64,
+    /// The cgroup hierarchy.
+    pub cgroups: Mutex<CgroupTree>,
+    /// UTS-namespace hostnames.
+    pub hostnames: RwLock<HashMap<NamespaceId, String>>,
+    /// Listening Unix sockets, keyed by the socket inode they are bound to.
+    pub socket_nodes: Mutex<HashMap<(DevId, Ino), Arc<SocketListener>>>,
+    /// fanotify-style access recording (Docker Slim's mechanism): when
+    /// armed, successful opens/execs append events here.
+    pub fanotify: Mutex<Option<Vec<FanotifyEvent>>>,
 }
 
 /// A handle to the simulated machine. Cloning is cheap; all clones share
@@ -124,11 +132,7 @@ impl Kernel {
     ) -> Kernel {
         let ns_id = NamespaceId(1);
         let mount_id = MountId(1);
-        let mount_ns_table = {
-            let mut m = HashMap::new();
-            m.insert(ns_id, MountNs::new(ns_id, mount_id, root_fs, cache));
-            m
-        };
+        let root_ns = MountNs::new(ns_id, mount_id, root_fs, cache);
         let init = Process {
             pid: Pid::INIT,
             ppid: Pid(0),
@@ -151,8 +155,6 @@ impl Kernel {
             cgroup: CgroupPath::root(),
             state: ProcessState::Running,
         };
-        let mut processes = HashMap::new();
-        processes.insert(Pid::INIT, init);
         let mut cgroups = CgroupTree::new();
         cgroups
             .attach(Pid::INIT, &CgroupPath::root())
@@ -169,19 +171,20 @@ impl Kernel {
                 ),
                 clock,
                 cost: config.cost,
-                state: Mutex::new(KState {
-                    processes,
-                    next_pid: 2,
-                    mount_ns: mount_ns_table,
-                    next_ns: 2,
-                    next_mount: 2,
-                    cgroups,
-                    hostnames,
-                    socket_nodes: HashMap::new(),
-                    fanotify: None,
-                }),
+                procs: ProcTable::new(config.proc_shards, init),
+                mounts: MountTable::new(root_ns),
+                next_ns: AtomicU64::new(2),
+                cgroups: Mutex::new(cgroups),
+                hostnames: RwLock::new(hostnames),
+                socket_nodes: Mutex::new(HashMap::new()),
+                fanotify: Mutex::new(None),
             }),
         }
+    }
+
+    /// Number of process-table shards this machine was booted with.
+    pub fn proc_shard_count(&self) -> usize {
+        self.inner.procs.shard_count()
     }
 
     /// The machine's virtual clock.
@@ -230,9 +233,7 @@ impl Kernel {
         pid: Pid,
         f: impl FnOnce(&Process) -> SysResult<T>,
     ) -> SysResult<T> {
-        let st = self.inner.state.lock();
-        let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
-        f(p)
+        self.inner.procs.with(pid, f)
     }
 
     pub(crate) fn with_proc_mut<T>(
@@ -240,9 +241,7 @@ impl Kernel {
         pid: Pid,
         f: impl FnOnce(&mut Process) -> SysResult<T>,
     ) -> SysResult<T> {
-        let mut st = self.inner.state.lock();
-        let p = st.processes.get_mut(&pid).ok_or(Errno::ESRCH)?;
-        f(p)
+        self.inner.procs.with_mut(pid, f)
     }
 
     // ------------------------------------------------------------------
@@ -250,19 +249,37 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `fork(2)`: duplicates `parent`, returning the child pid.
+    ///
+    /// Both shards (parent's and child's) are held together while the child
+    /// is inserted, so a concurrent `/proc` snapshot sees either the
+    /// pre-fork or post-fork world — never a child without its parent.
     pub fn fork(&self, parent: Pid) -> SysResult<Pid> {
         self.charge_syscall();
-        let mut st = self.inner.state.lock();
-        let child_pid = Pid(st.next_pid);
-        let parent_proc = st.processes.get(&parent).ok_or(Errno::ESRCH)?;
-        if parent_proc.state != ProcessState::Running {
-            return Err(Errno::ESRCH);
+        let child_pid = self.inner.procs.alloc_pid();
+        let cgroup = {
+            let mut pair = self.inner.procs.lock_pair(parent, child_pid);
+            let parent_proc = pair.get(parent).ok_or(Errno::ESRCH)?;
+            if parent_proc.state != ProcessState::Running {
+                return Err(Errno::ESRCH);
+            }
+            let child = parent_proc.fork_into(child_pid);
+            let cgroup = child.cgroup.clone();
+            pair.insert(child);
+            cgroup
+        };
+        // Processes-before-cgroups: the shard locks are released before the
+        // cgroup tree is touched. Roll the insert back if attach fails —
+        // dropping the removed process (and its cloned fd table, which can
+        // release FUSE handles that re-enter the kernel) outside the shard
+        // lock, as `exit`/`reap` do.
+        if let Err(e) = self.inner.cgroups.lock().attach(child_pid, &cgroup) {
+            let removed = {
+                let mut shard = self.inner.procs.lock_shard_of(child_pid);
+                shard.remove(&child_pid)
+            };
+            drop(removed);
+            return Err(e);
         }
-        let child = parent_proc.fork_into(child_pid);
-        let cgroup = child.cgroup.clone();
-        st.next_pid += 1;
-        st.processes.insert(child_pid, child);
-        st.cgroups.attach(child_pid, &cgroup)?;
         Ok(child_pid)
     }
 
@@ -271,15 +288,12 @@ impl Kernel {
         self.charge_syscall();
         // Dropping fd entries can release FUSE file handles, which re-enters
         // the kernel through the server — so the drops must happen outside
-        // the state lock.
-        let fds = {
-            let mut st = self.inner.state.lock();
-            let p = st.processes.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        // the shard lock.
+        let fds = self.inner.procs.with_mut(pid, |p| {
             p.state = ProcessState::Zombie;
-            let fds = std::mem::take(&mut p.fds);
-            st.cgroups.detach_everywhere(pid);
-            fds
-        };
+            Ok(std::mem::take(&mut p.fds))
+        })?;
+        self.inner.cgroups.lock().detach_everywhere(pid);
         drop(fds);
         Ok(())
     }
@@ -287,11 +301,11 @@ impl Kernel {
     /// Reaps a zombie, removing it from the table.
     pub fn reap(&self, pid: Pid) -> SysResult<()> {
         // As in `exit`, the process (and anything it still references) must
-        // be dropped outside the state lock.
+        // be dropped outside the shard lock.
         let reaped = {
-            let mut st = self.inner.state.lock();
-            match st.processes.get(&pid) {
-                Some(p) if p.state == ProcessState::Zombie => st.processes.remove(&pid),
+            let mut shard = self.inner.procs.lock_shard_of(pid);
+            match shard.get(&pid) {
+                Some(p) if p.state == ProcessState::Zombie => shard.remove(&pid),
                 Some(_) => return Err(Errno::EBUSY),
                 None => return Err(Errno::ESRCH),
             }
@@ -303,35 +317,31 @@ impl Kernel {
     /// True if the process exists and is running.
     pub fn is_alive(&self, pid: Pid) -> bool {
         self.inner
-            .state
-            .lock()
-            .processes
-            .get(&pid)
-            .is_some_and(|p| p.state == ProcessState::Running)
+            .procs
+            .with(pid, |p| Ok(p.state == ProcessState::Running))
+            .unwrap_or(false)
     }
 
     /// All live pids (ordered).
     pub fn pids(&self) -> Vec<Pid> {
-        let st = self.inner.state.lock();
-        let mut v: Vec<Pid> = st.processes.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.inner.procs.pids()
     }
 
-    /// The full context CNTR needs before attaching.
+    /// The full context CNTR needs before attaching. All fields come from
+    /// one shard acquisition — a consistent per-process snapshot.
     pub fn proc_info(&self, pid: Pid) -> SysResult<ProcInfo> {
-        let st = self.inner.state.lock();
-        let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
-        Ok(ProcInfo {
-            pid: p.pid,
-            ppid: p.ppid,
-            name: p.name.clone(),
-            creds: p.creds.clone(),
-            ns: p.ns,
-            env: p.env.clone(),
-            cgroup: p.cgroup.clone(),
-            root: p.root,
-            state: p.state,
+        self.inner.procs.with(pid, |p| {
+            Ok(ProcInfo {
+                pid: p.pid,
+                ppid: p.ppid,
+                name: p.name.clone(),
+                creds: p.creds.clone(),
+                ns: p.ns,
+                env: p.env.clone(),
+                cgroup: p.cgroup.clone(),
+                root: p.root,
+                state: p.state,
+            })
         })
     }
 
@@ -389,12 +399,12 @@ impl Kernel {
     /// "records all files that have been accessed during a container run in
     /// an efficient way using the fanotify kernel module", paper §5.3).
     pub fn fanotify_start(&self) {
-        self.inner.state.lock().fanotify = Some(Vec::new());
+        *self.inner.fanotify.lock() = Some(Vec::new());
     }
 
     /// Drains recorded events, keeping the recorder armed.
     pub fn fanotify_drain(&self) -> Vec<FanotifyEvent> {
-        match self.inner.state.lock().fanotify.as_mut() {
+        match self.inner.fanotify.lock().as_mut() {
             Some(events) => std::mem::take(events),
             None => Vec::new(),
         }
@@ -402,12 +412,12 @@ impl Kernel {
 
     /// Disarms the recorder and returns the remaining events.
     pub fn fanotify_stop(&self) -> Vec<FanotifyEvent> {
-        self.inner.state.lock().fanotify.take().unwrap_or_default()
+        self.inner.fanotify.lock().take().unwrap_or_default()
     }
 
     /// Records one access if the recorder is armed.
     pub(crate) fn fanotify_record(&self, dev: DevId, ino: Ino, path: &str) {
-        if let Some(events) = self.inner.state.lock().fanotify.as_mut() {
+        if let Some(events) = self.inner.fanotify.lock().as_mut() {
             events.push(FanotifyEvent {
                 dev,
                 ino,
@@ -433,36 +443,64 @@ impl Kernel {
     // Namespaces
     // ------------------------------------------------------------------
 
+    /// Allocates a fresh namespace id.
+    pub(crate) fn alloc_ns_id(&self) -> NamespaceId {
+        NamespaceId(self.inner.next_ns.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// `unshare(2)`: gives `pid` fresh namespaces of the listed kinds.
     /// Requires `CAP_SYS_ADMIN`.
+    ///
+    /// Lock order: the process shard is read (creds, current namespaces),
+    /// released while the mount table / hostname copies are created, then
+    /// written once with the complete new namespace set.
     pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
         self.charge_syscall();
-        let mut st = self.inner.state.lock();
-        let caps = st.processes.get(&pid).ok_or(Errno::ESRCH)?.creds.caps;
+        let (caps, old_ns) = self.with_proc(pid, |p| Ok((p.creds.caps, p.ns)))?;
         if !caps.has(Capability::SysAdmin) {
             return Err(Errno::EPERM);
         }
+        let mut fresh: Vec<(NamespaceKind, NamespaceId)> = Vec::with_capacity(kinds.len());
         for &kind in kinds {
-            let new_id = NamespaceId(st.next_ns);
-            st.next_ns += 1;
+            let new_id = self.alloc_ns_id();
             if kind == NamespaceKind::Mount {
-                let old_ns_id = st.processes[&pid].ns.mount;
-                let cloned = st
-                    .mount_ns
-                    .get(&old_ns_id)
-                    .ok_or(Errno::EINVAL)?
-                    .clone_for(new_id);
-                st.mount_ns.insert(new_id, cloned);
+                let cloned = self
+                    .inner
+                    .mounts
+                    .with_read(old_ns.mount, |ns| Ok(ns.clone_for(new_id)))?;
+                self.inner.mounts.insert(cloned);
             }
             if kind == NamespaceKind::Uts {
-                let old = st.processes[&pid].ns.uts;
-                let name = st.hostnames.get(&old).cloned().unwrap_or_default();
-                st.hostnames.insert(new_id, name);
+                let mut hostnames = self.inner.hostnames.write();
+                let name = hostnames.get(&old_ns.uts).cloned().unwrap_or_default();
+                hostnames.insert(new_id, name);
             }
-            let p = st.processes.get_mut(&pid).expect("checked");
-            p.ns.set(kind, new_id);
+            fresh.push((kind, new_id));
         }
-        Ok(())
+        // Only the unshared kinds are written back — a concurrent `setns`
+        // on another kind is not clobbered by this syscall's earlier
+        // snapshot of the namespace set.
+        let res = self.with_proc_mut(pid, |p| {
+            for &(kind, id) in &fresh {
+                p.ns.set(kind, id);
+            }
+            Ok(())
+        });
+        if res.is_err() {
+            // The process vanished (concurrent reap) before adopting the
+            // new namespaces: deregister them rather than leaking tables
+            // no process can ever reference.
+            for &(kind, id) in &fresh {
+                match kind {
+                    NamespaceKind::Mount => self.inner.mounts.remove(id),
+                    NamespaceKind::Uts => {
+                        self.inner.hostnames.write().remove(&id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        res
     }
 
     /// `setns(2)`: moves `pid` into `target`'s namespaces of the listed
@@ -470,51 +508,57 @@ impl Kernel {
     /// root and cwd to that namespace's root, as in Linux.
     pub fn setns(&self, pid: Pid, target: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
         self.charge_syscall();
-        let mut st = self.inner.state.lock();
-        if !st
-            .processes
-            .get(&pid)
-            .ok_or(Errno::ESRCH)?
-            .creds
-            .caps
-            .has(Capability::SysAdmin)
-        {
+        let caps = self.with_proc(pid, |p| Ok(p.creds.caps))?;
+        if !caps.has(Capability::SysAdmin) {
             return Err(Errno::EPERM);
         }
-        let target_ns = st.processes.get(&target).ok_or(Errno::ESRCH)?.ns;
+        let target_ns = self.with_proc(target, |p| Ok(p.ns))?;
+        // Gather the mount-namespace root before mutating the process, so
+        // the final update is a single consistent shard write.
+        let mut new_root: Option<VfsLoc> = None;
         for &kind in kinds {
-            let id = target_ns.get(kind);
             if kind == NamespaceKind::Mount {
-                let mount_ns = st.mount_ns.get(&id).ok_or(Errno::EINVAL)?;
-                let root_mount = mount_ns.root_mount();
-                let root_ino = mount_ns.get(root_mount)?.root_ino;
-                let p = st.processes.get_mut(&pid).expect("checked");
-                p.root = VfsLoc {
-                    mount: root_mount,
-                    ino: root_ino,
-                };
-                p.cwd = p.root;
+                let id = target_ns.get(kind);
+                new_root = Some(self.inner.mounts.with_read(id, |ns| {
+                    let root_mount = ns.root_mount();
+                    let root_ino = ns.get(root_mount)?.root_ino;
+                    Ok(VfsLoc {
+                        mount: root_mount,
+                        ino: root_ino,
+                    })
+                })?);
+            }
+        }
+        self.with_proc_mut(pid, |p| {
+            for &kind in kinds {
+                p.ns.set(kind, target_ns.get(kind));
+            }
+            if let Some(root) = new_root {
+                p.root = root;
+                p.cwd = root;
                 p.cwd_path = "/".to_string();
             }
-            let p = st.processes.get_mut(&pid).expect("checked");
-            p.ns.set(kind, id);
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// `sethostname(2)` in the caller's UTS namespace.
     pub fn sethostname(&self, pid: Pid, name: &str) -> SysResult<()> {
-        let mut st = self.inner.state.lock();
-        let uts = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.uts;
-        st.hostnames.insert(uts, name.to_string());
+        let uts = self.with_proc(pid, |p| Ok(p.ns.uts))?;
+        self.inner.hostnames.write().insert(uts, name.to_string());
         Ok(())
     }
 
     /// `gethostname(2)`.
     pub fn gethostname(&self, pid: Pid) -> SysResult<String> {
-        let st = self.inner.state.lock();
-        let uts = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.uts;
-        Ok(st.hostnames.get(&uts).cloned().unwrap_or_default())
+        let uts = self.with_proc(pid, |p| Ok(p.ns.uts))?;
+        Ok(self
+            .inner
+            .hostnames
+            .read()
+            .get(&uts)
+            .cloned()
+            .unwrap_or_default())
     }
 
     // ------------------------------------------------------------------
@@ -523,27 +567,27 @@ impl Kernel {
 
     /// Creates a cgroup.
     pub fn cgroup_create(&self, path: &str) -> SysResult<CgroupPath> {
-        self.inner.state.lock().cgroups.create(path)
+        self.inner.cgroups.lock().create(path)
     }
 
     /// Moves a process into a cgroup.
     pub fn cgroup_attach(&self, pid: Pid, path: &CgroupPath) -> SysResult<()> {
-        let mut st = self.inner.state.lock();
-        st.cgroups.attach(pid, path)?;
-        if let Some(p) = st.processes.get_mut(&pid) {
+        self.inner.cgroups.lock().attach(pid, path)?;
+        let _ = self.with_proc_mut(pid, |p| {
             p.cgroup = path.clone();
-        }
+            Ok(())
+        });
         Ok(())
     }
 
     /// Sets cgroup limits.
     pub fn cgroup_set_limits(&self, path: &CgroupPath, limits: CgroupLimits) -> SysResult<()> {
-        self.inner.state.lock().cgroups.set_limits(path, limits)
+        self.inner.cgroups.lock().set_limits(path, limits)
     }
 
     /// Reads cgroup members.
     pub fn cgroup_members(&self, path: &CgroupPath) -> SysResult<Vec<Pid>> {
-        self.inner.state.lock().cgroups.members(path)
+        self.inner.cgroups.lock().members(path)
     }
 
     // ------------------------------------------------------------------

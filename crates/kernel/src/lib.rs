@@ -23,7 +23,11 @@
 //! * synthetic `/proc` ([`procfs`]) and `/dev` ([`devfs`]).
 //!
 //! The entry point is [`Kernel`]: a shared handle whose methods are the
-//! system calls of the simulated machine.
+//! system calls of the simulated machine. Kernel state is decomposed into
+//! independently locked subsystems — a pid-sharded process table and
+//! per-namespace mount tables ([`table`]) — so syscalls from unrelated
+//! processes execute concurrently on real threads; see [`table`] for the
+//! lock-ordering discipline.
 
 pub mod cgroup;
 pub mod cred;
@@ -37,6 +41,7 @@ pub mod pipe;
 pub mod process;
 pub mod procfs;
 pub mod socket;
+pub mod table;
 pub mod vfs;
 
 pub use cgroup::CgroupPath;
@@ -46,3 +51,4 @@ pub use mount::{CacheMode, MountFlags, MountId, Propagation};
 pub use ns::{NamespaceId, NamespaceKind, NamespaceSet};
 pub use pagecache::PageCacheStats;
 pub use process::ProcessState;
+pub use table::DEFAULT_PROC_SHARDS;

@@ -72,14 +72,35 @@ impl ProcFs {
 
     fn pid_exists(&self, pid: Pid) -> bool {
         self.kernel()
-            .map(|k| k.state.lock().processes.contains_key(&pid))
+            .map(|k| k.procs.contains(pid))
             .unwrap_or(false)
     }
 
-    fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
+    /// The fields a `/proc/<pid>/*` file is generated from, cloned out of
+    /// the process's shard in **one** lock acquisition. A concurrent `fork`
+    /// or `exit` can therefore never produce a torn read: every line of a
+    /// rendered file describes the same instant of the process.
+    fn snapshot(&self, pid: Pid) -> SysResult<ProcSnapshot> {
         let kernel = self.kernel()?;
-        let st = kernel.state.lock();
-        let p = st.processes.get(&pid).ok_or(Errno::ENOENT)?;
+        kernel
+            .procs
+            .with(pid, |p| {
+                Ok(ProcSnapshot {
+                    name: p.name.clone(),
+                    state: p.state,
+                    pid: p.pid,
+                    ppid: p.ppid,
+                    creds: p.creds.clone(),
+                    env: p.env.clone(),
+                    cgroup: p.cgroup.clone(),
+                    ns: p.ns,
+                })
+            })
+            .map_err(|_| Errno::ENOENT)
+    }
+
+    fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
+        let p = self.snapshot(pid)?;
         let out = match file {
             ProcFile::Status => format!(
                 "Name:\t{}\nState:\t{}\nPid:\t{}\nPPid:\t{}\nUid:\t{} {} {} {}\nGid:\t{} {} {} {}\nCapEff:\t{:016x}\nCapBnd:\t{:016x}\nSeccomp:\t0\n",
@@ -113,7 +134,10 @@ impl ProcFs {
             }
             ProcFile::Cgroup => format!("0::{}\n", p.cgroup.0).into_bytes(),
             ProcFile::Mounts => {
-                let ns = st.mount_ns.get(&p.ns.mount).ok_or(Errno::EIO)?;
+                // Processes-before-mounts: the shard was released by
+                // `snapshot`; the mount table is read afterwards.
+                let kernel = self.kernel()?;
+                let ns = kernel.mounts.snapshot(p.ns.mount).map_err(|_| Errno::EIO)?;
                 let mut out = String::new();
                 for m in ns.iter() {
                     // The filesystem reports its own option string (stacked
@@ -176,10 +200,7 @@ impl ProcFs {
     fn owner_of(&self, pid: Pid) -> (Uid, Gid) {
         self.kernel()
             .ok()
-            .and_then(|k| {
-                let st = k.state.lock();
-                st.processes.get(&pid).map(|p| (p.creds.uid, p.creds.gid))
-            })
+            .and_then(|k| k.procs.with(pid, |p| Ok((p.creds.uid, p.creds.gid))).ok())
             .unwrap_or((Uid::ROOT, Gid::ROOT))
     }
 
@@ -201,6 +222,18 @@ impl ProcFs {
             ProcNode::Unknown => Err(Errno::ENOENT),
         }
     }
+}
+
+/// One process's fields, cloned from its shard in a single acquisition.
+struct ProcSnapshot {
+    name: String,
+    state: crate::process::ProcessState,
+    pid: Pid,
+    ppid: Pid,
+    creds: crate::cred::Credentials,
+    env: std::collections::BTreeMap<String, String>,
+    cgroup: crate::cgroup::CgroupPath,
+    ns: crate::ns::NamespaceSet,
 }
 
 #[derive(Clone, Copy)]
@@ -376,10 +409,9 @@ impl Filesystem for ProcFs {
         match Self::classify(ino) {
             ProcNode::Root => {
                 let kernel = self.kernel()?;
-                let st = kernel.state.lock();
-                let mut pids: Vec<Pid> = st.processes.keys().copied().collect();
-                pids.sort_unstable();
-                Ok(pids
+                Ok(kernel
+                    .procs
+                    .pids()
                     .into_iter()
                     .map(|p| Dirent {
                         ino: Ino(p.raw() as u64 * PID_STRIDE),

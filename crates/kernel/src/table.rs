@@ -1,0 +1,358 @@
+//! Sharded kernel tables: the fine-grained locking layer under [`crate::Kernel`].
+//!
+//! The kernel used to serialize every syscall on a single `Mutex<KState>`.
+//! That was correct but made hundreds of containers impossible to *run*
+//! concurrently: two processes could not even `getenv` at the same time.
+//! This module splits the state into independently locked subsystems:
+//!
+//! * `ProcTable` — the process table, sharded over a fixed power-of-two
+//!   array of mutexes keyed by `pid % shards`. Syscalls touching one
+//!   process lock one shard; unrelated pids proceed in parallel.
+//! * `MountTable` — one `RwLock<MountNs>` per mount namespace behind an
+//!   outer `RwLock` registry. Path resolution (read-mostly) takes read
+//!   locks only, so `mount`/`umount` in one container no longer blocks
+//!   lookups in every other container.
+//!
+//! Id allocators (`next_pid`, `next_ns`, `next_mount`) are atomics; the
+//! remaining small subsystems (cgroups, hostnames, bound sockets, fanotify)
+//! each get their own lock on the kernel inner state.
+//!
+//! # Lock-ordering discipline
+//!
+//! Deadlock freedom rests on three rules, observed by every call site:
+//!
+//! 1. **At most one process shard is locked directly.** The only way to
+//!    hold two is `ProcTable::lock_pair`, which acquires them in
+//!    ascending shard-index order (`fork` uses this so a `/proc` snapshot
+//!    never observes a child without its parent mid-fork).
+//! 2. **Subsystem locks never nest.** Cross-subsystem operations
+//!    (`fork` + cgroup attach, `unshare` + mount-table clone, `setns`)
+//!    copy what they need out of one subsystem, release it, then touch the
+//!    next — in the canonical order *processes → mounts → cgroups /
+//!    hostnames / sockets / fanotify*.
+//! 3. **Mount locks go outer-before-inner, one namespace at a time.** The
+//!    registry read lock is dropped before an inner `MountNs` lock is
+//!    taken (the `Arc` keeps the namespace alive), and no thread ever
+//!    holds two inner mount locks simultaneously (propagation walks peers
+//!    sequentially).
+
+use crate::mount::{MountId, MountNs};
+use crate::ns::NamespaceId;
+use crate::process::Process;
+use cntr_types::{Errno, Pid, SysResult};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of process-table shards (a power of two).
+pub const DEFAULT_PROC_SHARDS: usize = 16;
+
+type Shard = HashMap<Pid, Process>;
+
+/// The pid-sharded process table.
+pub(crate) struct ProcTable {
+    shards: Box<[Mutex<Shard>]>,
+    mask: usize,
+    next_pid: AtomicU32,
+}
+
+impl ProcTable {
+    /// Creates a table with `shards` shards (rounded up to a power of two)
+    /// holding `init` as pid 1.
+    pub fn new(shards: usize, init: Process) -> ProcTable {
+        let n = shards.max(1).next_power_of_two();
+        let table = ProcTable {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            next_pid: AtomicU32::new(2),
+        };
+        table.shards[table.index(init.pid)]
+            .lock()
+            .insert(init.pid, init);
+        table
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn index(&self, pid: Pid) -> usize {
+        pid.raw() as usize & self.mask
+    }
+
+    /// Allocates a fresh pid. Atomic: concurrent forks can never hand out
+    /// the same pid twice (a fork that later fails burns its pid, as the
+    /// real kernel may).
+    pub fn alloc_pid(&self) -> Pid {
+        Pid(self.next_pid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Runs `f` over the process, holding only its shard.
+    pub fn with<T>(&self, pid: Pid, f: impl FnOnce(&Process) -> SysResult<T>) -> SysResult<T> {
+        let shard = self.shards[self.index(pid)].lock();
+        let p = shard.get(&pid).ok_or(Errno::ESRCH)?;
+        f(p)
+    }
+
+    /// Runs `f` over the process mutably, holding only its shard.
+    pub fn with_mut<T>(
+        &self,
+        pid: Pid,
+        f: impl FnOnce(&mut Process) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let mut shard = self.shards[self.index(pid)].lock();
+        let p = shard.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        f(p)
+    }
+
+    /// True if the pid is in the table (any lifecycle state).
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.shards[self.index(pid)].lock().contains_key(&pid)
+    }
+
+    /// Locks the shard owning `pid` (single-shard compound operations).
+    pub fn lock_shard_of(&self, pid: Pid) -> MutexGuard<'_, Shard> {
+        self.shards[self.index(pid)].lock()
+    }
+
+    /// Locks the shards of `a` and `b` together, in ascending shard-index
+    /// order (rule 1 of the module-level discipline). Used by `fork` so the
+    /// parent's shard stays held while the child is inserted.
+    pub fn lock_pair(&self, a: Pid, b: Pid) -> ShardPair<'_> {
+        let (ia, ib) = (self.index(a), self.index(b));
+        let (lo_idx, hi_idx) = (ia.min(ib), ia.max(ib));
+        let lo = self.shards[lo_idx].lock();
+        let hi = (lo_idx != hi_idx).then(|| self.shards[hi_idx].lock());
+        ShardPair {
+            lo,
+            hi,
+            lo_idx,
+            mask: self.mask,
+        }
+    }
+
+    /// All pids, ordered. Shards are locked one at a time in index order;
+    /// the listing is a snapshot, not an atomic view of the whole table.
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut v: Vec<Pid> = Vec::new();
+        for shard in self.shards.iter() {
+            v.extend(shard.lock().keys().copied());
+        }
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Two process shards held together, acquired in ascending index order.
+pub(crate) struct ShardPair<'a> {
+    lo: MutexGuard<'a, Shard>,
+    hi: Option<MutexGuard<'a, Shard>>,
+    lo_idx: usize,
+    mask: usize,
+}
+
+impl ShardPair<'_> {
+    fn map_for(&mut self, pid: Pid) -> &mut Shard {
+        if pid.raw() as usize & self.mask == self.lo_idx {
+            &mut self.lo
+        } else {
+            self.hi.as_mut().expect("pid belongs to one of the pair")
+        }
+    }
+
+    /// The process, if present in either held shard.
+    pub fn get(&mut self, pid: Pid) -> Option<&Process> {
+        let shard: &Shard = self.map_for(pid);
+        shard.get(&pid)
+    }
+
+    /// Inserts a process into whichever held shard owns its pid.
+    pub fn insert(&mut self, p: Process) {
+        self.map_for(p.pid).insert(p.pid, p);
+    }
+}
+
+/// Per-namespace mount tables behind reader/writer locks.
+pub(crate) struct MountTable {
+    namespaces: RwLock<HashMap<NamespaceId, Arc<RwLock<MountNs>>>>,
+    next_mount: AtomicU64,
+}
+
+impl MountTable {
+    /// Creates the registry holding namespace 1's table.
+    pub fn new(root: MountNs) -> MountTable {
+        let mut m = HashMap::new();
+        m.insert(root.id, Arc::new(RwLock::new(root)));
+        MountTable {
+            namespaces: RwLock::new(m),
+            next_mount: AtomicU64::new(2),
+        }
+    }
+
+    /// Allocates a fresh mount id (atomic, lock-free).
+    pub fn alloc_mount_id(&self) -> MountId {
+        MountId(self.next_mount.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Registers a new namespace's mount table.
+    pub fn insert(&self, ns: MountNs) {
+        self.namespaces
+            .write()
+            .insert(ns.id, Arc::new(RwLock::new(ns)));
+    }
+
+    /// Deregisters a namespace (rollback of a failed `unshare`; the table
+    /// and its filesystem `Arc`s drop once the last snapshot dies).
+    pub fn remove(&self, id: NamespaceId) {
+        self.namespaces.write().remove(&id);
+    }
+
+    fn handle(&self, id: NamespaceId) -> SysResult<Arc<RwLock<MountNs>>> {
+        // The outer registry lock is released before the caller touches the
+        // inner lock (rule 3: outer-before-inner, never held together).
+        self.namespaces
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(Errno::EINVAL)
+    }
+
+    /// Clones one namespace's table (path resolution works on a private
+    /// snapshot, so a concurrent umount cannot invalidate a walk mid-way).
+    pub fn snapshot(&self, id: NamespaceId) -> SysResult<MountNs> {
+        let ns = self.handle(id)?;
+        let snap = ns.read().clone();
+        Ok(snap)
+    }
+
+    /// Runs `f` under one namespace's read lock.
+    pub fn with_read<T>(
+        &self,
+        id: NamespaceId,
+        f: impl FnOnce(&MountNs) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let ns = self.handle(id)?;
+        let guard = ns.read();
+        f(&guard)
+    }
+
+    /// Runs `f` under one namespace's write lock.
+    pub fn with_write<T>(
+        &self,
+        id: NamespaceId,
+        f: impl FnOnce(&mut MountNs) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let ns = self.handle(id)?;
+        let mut guard = ns.write();
+        f(&mut guard)
+    }
+
+    /// Ids of every registered namespace.
+    pub fn ids(&self) -> Vec<NamespaceId> {
+        let mut v: Vec<NamespaceId> = self.namespaces.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgroup::CgroupPath;
+    use crate::cred::Credentials;
+    use crate::ns::NamespaceSet;
+    use crate::process::{ProcessState, VfsLoc};
+    use cntr_types::{Ino, RlimitSet};
+    use std::collections::BTreeMap;
+
+    fn proc(pid: Pid) -> Process {
+        Process {
+            pid,
+            ppid: Pid(0),
+            name: "p".into(),
+            creds: Credentials::host_root(),
+            ns: NamespaceSet::uniform(NamespaceId(1)),
+            cwd: VfsLoc {
+                mount: MountId(1),
+                ino: Ino::ROOT,
+            },
+            cwd_path: "/".into(),
+            root: VfsLoc {
+                mount: MountId(1),
+                ino: Ino::ROOT,
+            },
+            env: BTreeMap::new(),
+            rlimits: RlimitSet::default(),
+            fds: HashMap::new(),
+            next_fd: 0,
+            cgroup: CgroupPath::root(),
+            state: ProcessState::Running,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let t = ProcTable::new(10, proc(Pid(1)));
+        assert_eq!(t.shard_count(), 16);
+        let t = ProcTable::new(1, proc(Pid(1)));
+        assert_eq!(t.shard_count(), 1);
+    }
+
+    #[test]
+    fn alloc_pid_is_unique_across_threads() {
+        let t = Arc::new(ProcTable::new(16, proc(Pid(1))));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|_| t.alloc_pid()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Pid> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate pid handed out");
+    }
+
+    #[test]
+    fn lock_pair_same_and_distinct_shards() {
+        let t = ProcTable::new(4, proc(Pid(1)));
+        // Same shard (1 and 5 with mask 3 both map to shard 1).
+        let mut pair = t.lock_pair(Pid(1), Pid(5));
+        assert!(pair.get(Pid(1)).is_some());
+        pair.insert(proc(Pid(5)));
+        assert!(pair.get(Pid(5)).is_some());
+        drop(pair);
+        // Distinct shards.
+        let mut pair = t.lock_pair(Pid(1), Pid(2));
+        pair.insert(proc(Pid(2)));
+        assert!(pair.get(Pid(2)).is_some());
+        drop(pair);
+        assert_eq!(t.pids(), vec![Pid(1), Pid(2), Pid(5)]);
+    }
+
+    #[test]
+    fn mount_table_snapshot_missing_ns() {
+        use crate::mount::CacheMode;
+        use cntr_fs::memfs::memfs;
+        use cntr_types::{DevId, SimClock};
+        let ns = MountNs::new(
+            NamespaceId(1),
+            MountId(1),
+            memfs(DevId(1), SimClock::new()),
+            CacheMode::native(),
+        );
+        let t = MountTable::new(ns);
+        assert!(t.snapshot(NamespaceId(1)).is_ok());
+        assert_eq!(t.snapshot(NamespaceId(9)).map(|_| ()), Err(Errno::EINVAL));
+        assert_eq!(t.ids(), vec![NamespaceId(1)]);
+        assert_eq!(t.alloc_mount_id(), MountId(2));
+        assert_eq!(t.alloc_mount_id(), MountId(3));
+    }
+}

@@ -128,10 +128,11 @@ struct WalkState {
 
 impl Kernel {
     fn snapshot_ns(&self, pid: Pid) -> SysResult<(MountNs, VfsLoc, VfsLoc)> {
-        let st = self.inner.state.lock();
-        let p = st.processes.get(&pid).ok_or(Errno::ESRCH)?;
-        let ns = st.mount_ns.get(&p.ns.mount).ok_or(Errno::EINVAL)?.clone();
-        Ok((ns, p.root, p.cwd))
+        // Processes-before-mounts: the shard lock is released before the
+        // mount table is read; the walk then runs on a private snapshot.
+        let (ns_id, root, cwd) = self.with_proc(pid, |p| Ok((p.ns.mount, p.root, p.cwd)))?;
+        let ns = self.inner.mounts.snapshot(ns_id)?;
+        Ok((ns, root, cwd))
     }
 
     /// Descends through stacked mounts at `loc`.
@@ -779,9 +780,8 @@ impl Kernel {
         if let Ok(st) = parent.fs.lookup(parent.loc.ino, &name) {
             if st.ftype == FileType::Socket {
                 self.inner
-                    .state
-                    .lock()
                     .socket_nodes
+                    .lock()
                     .remove(&(parent.fs.fs_id(), st.ino));
             }
         }
@@ -1147,10 +1147,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn alloc_mount_id(&self) -> MountId {
-        let mut st = self.inner.state.lock();
-        let id = MountId(st.next_mount);
-        st.next_mount += 1;
-        id
+        self.inner.mounts.alloc_mount_id()
     }
 
     /// `mount(2)` of a filesystem instance at `path`.
@@ -1173,24 +1170,24 @@ impl Kernel {
         }
         let root_ino = fs.root_ino();
         let id = self.alloc_mount_id();
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        ns.add_mount(id, fs, root_ino, at.loc.mount, at.loc.ino, cache, flags)?;
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            ns.add_mount(id, fs, root_ino, at.loc.mount, at.loc.ino, cache, flags)
+        })?;
         // Propagate into shared peers of the parent mount.
-        self.propagate_mount(&mut st, ns_id, at.loc.mount, at.loc.ino);
+        self.propagate_mount(ns_id, at.loc.mount, at.loc.ino);
         Ok(id)
     }
 
-    /// `mount --bind src dst` (optionally read-only). Binds the *subtree* at
-    /// `src` — the primitive CNTR uses for `/proc`, `/dev` and `/etc` files.
-    pub fn bind_mount(
+    /// Shared prologue of both bind variants: privilege check, source and
+    /// target resolution, and the file-over-file / dir-over-dir type check.
+    /// Returns `(source, target, caller's mount namespace)`.
+    fn bind_prologue(
         &self,
         pid: Pid,
         src: &str,
         dst: &str,
-        flags: MountFlags,
-    ) -> SysResult<MountId> {
+    ) -> SysResult<(Resolved, Resolved, crate::ns::NamespaceId)> {
         self.charge_syscall();
         let creds = self.creds(pid)?;
         if !creds.caps.has(Capability::SysAdmin) {
@@ -1206,21 +1203,34 @@ impl Kernel {
                 Errno::EISDIR
             });
         }
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        Ok((source, target, ns_id))
+    }
+
+    /// `mount --bind src dst` (optionally read-only). Binds the *subtree* at
+    /// `src` — the primitive CNTR uses for `/proc`, `/dev` and `/etc` files.
+    pub fn bind_mount(
+        &self,
+        pid: Pid,
+        src: &str,
+        dst: &str,
+        flags: MountFlags,
+    ) -> SysResult<MountId> {
+        let (source, target, ns_id) = self.bind_prologue(pid, src, dst)?;
         let id = self.alloc_mount_id();
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        let cache = ns.get(source.loc.mount)?.cache;
-        ns.add_mount(
-            id,
-            source.fs,
-            source.loc.ino,
-            target.loc.mount,
-            target.loc.ino,
-            cache,
-            flags,
-        )?;
-        self.propagate_mount(&mut st, ns_id, target.loc.mount, target.loc.ino);
+        self.inner.mounts.with_write(ns_id, |ns| {
+            let cache = ns.get(source.loc.mount)?.cache;
+            ns.add_mount(
+                id,
+                source.fs,
+                source.loc.ino,
+                target.loc.mount,
+                target.loc.ino,
+                cache,
+                flags,
+            )
+        })?;
+        self.propagate_mount(ns_id, target.loc.mount, target.loc.ino);
         Ok(id)
     }
 
@@ -1239,54 +1249,64 @@ impl Kernel {
         dst: &str,
         flags: MountFlags,
     ) -> SysResult<MountId> {
-        let top_src = self.resolve(pid, src, true)?;
-        let top = self.bind_mount(pid, src, dst, flags)?;
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get(&ns_id).ok_or(Errno::EINVAL)?;
-        // Breadth-first replication of the mount tree under the source.
-        let mut mapping: std::collections::HashMap<MountId, MountId> =
-            std::collections::HashMap::new();
-        mapping.insert(top_src.loc.mount, top);
-        let mut next_id = st.next_mount;
-        let mut replicas: Vec<(MountId, Mount)> = Vec::new();
-        let mut changed = true;
-        let all: Vec<Mount> = ns.iter().cloned().collect();
-        while changed {
-            changed = false;
-            for m in &all {
-                if mapping.contains_key(&m.id) {
-                    continue;
-                }
-                let Some((parent, at_ino)) = m.parent else {
-                    continue;
-                };
-                if let Some(&new_parent) = mapping.get(&parent) {
-                    let id = MountId(next_id);
-                    next_id += 1;
-                    let mut clone = m.clone();
-                    clone.id = id;
-                    clone.parent = Some((new_parent, at_ino));
-                    clone.propagation = crate::mount::Propagation::Private;
-                    mapping.insert(m.id, id);
-                    replicas.push((id, clone));
-                    changed = true;
+        let (source, target, ns_id) = self.bind_prologue(pid, src, dst)?;
+        let top = self.alloc_mount_id();
+        // The top bind and the subtree replication commit under ONE write
+        // lock of the caller's namespace, so a concurrent mount/umount can
+        // never observe (or destroy) a partially replicated tree.
+        self.inner.mounts.with_write(ns_id, |ns| {
+            let cache = ns.get(source.loc.mount)?.cache;
+            ns.add_mount(
+                top,
+                Arc::clone(&source.fs),
+                source.loc.ino,
+                target.loc.mount,
+                target.loc.ino,
+                cache,
+                flags,
+            )?;
+            // Breadth-first replication of the mount tree under the source.
+            let mut mapping: std::collections::HashMap<MountId, MountId> =
+                std::collections::HashMap::new();
+            mapping.insert(source.loc.mount, top);
+            let mut replicas: Vec<(MountId, Mount)> = Vec::new();
+            let mut changed = true;
+            let all: Vec<Mount> = ns.iter().cloned().collect();
+            while changed {
+                changed = false;
+                for m in &all {
+                    if mapping.contains_key(&m.id) {
+                        continue;
+                    }
+                    let Some((parent, at_ino)) = m.parent else {
+                        continue;
+                    };
+                    if let Some(&new_parent) = mapping.get(&parent) {
+                        let id = self.inner.mounts.alloc_mount_id();
+                        let mut clone = m.clone();
+                        clone.id = id;
+                        clone.parent = Some((new_parent, at_ino));
+                        clone.propagation = crate::mount::Propagation::Private;
+                        mapping.insert(m.id, id);
+                        replicas.push((id, clone));
+                        changed = true;
+                    }
                 }
             }
-        }
-        st.next_mount = next_id;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        for (id, m) in replicas {
-            ns.add_mount(
-                id,
-                m.fs,
-                m.root_ino,
-                m.parent.expect("set above").0,
-                m.parent.expect("set above").1,
-                m.cache,
-                m.flags,
-            )?;
-        }
+            for (id, m) in replicas {
+                ns.add_mount(
+                    id,
+                    m.fs,
+                    m.root_ino,
+                    m.parent.expect("set above").0,
+                    m.parent.expect("set above").1,
+                    m.cache,
+                    m.flags,
+                )?;
+            }
+            Ok(())
+        })?;
+        self.propagate_mount(ns_id, target.loc.mount, target.loc.ino);
         Ok(top)
     }
 
@@ -1299,15 +1319,15 @@ impl Kernel {
         }
         let source = self.resolve(pid, src, true)?;
         let target = self.resolve(pid, dst, true)?;
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        // `src` must resolve to the root of a mount.
-        let m = ns.get(source.loc.mount)?;
-        if m.root_ino != source.loc.ino || m.parent.is_none() {
-            return Err(Errno::EINVAL);
-        }
-        ns.move_mount(source.loc.mount, target.loc.mount, target.loc.ino)
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            // `src` must resolve to the root of a mount.
+            let m = ns.get(source.loc.mount)?;
+            if m.root_ino != source.loc.ino || m.parent.is_none() {
+                return Err(Errno::EINVAL);
+            }
+            ns.move_mount(source.loc.mount, target.loc.mount, target.loc.ino)
+        })
     }
 
     /// `umount(2)`.
@@ -1320,94 +1340,91 @@ impl Kernel {
         let at = self.resolve(pid, path, true)?;
         // Flush dirty pages belonging to this filesystem before detach.
         self.inner.page_cache.sync_all()?;
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        let m = ns.get(at.loc.mount)?;
-        if m.root_ino != at.loc.ino {
-            return Err(Errno::EINVAL);
-        }
-        ns.umount(at.loc.mount).map(|_| ())
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            let m = ns.get(at.loc.mount)?;
+            if m.root_ino != at.loc.ino {
+                return Err(Errno::EINVAL);
+            }
+            ns.umount(at.loc.mount).map(|_| ())
+        })
     }
 
     /// `mount --make-rprivate /`: stops all propagation in the caller's
     /// namespace. The first thing CNTR does in the nested namespace.
     pub fn make_rprivate(&self, pid: Pid) -> SysResult<()> {
         self.charge_syscall();
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        st.mount_ns
-            .get_mut(&ns_id)
-            .ok_or(Errno::EINVAL)?
-            .make_all_private();
-        Ok(())
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            ns.make_all_private();
+            Ok(())
+        })
     }
 
     /// `mount --make-shared` on the mount containing `path`.
     pub fn make_shared(&self, pid: Pid, path: &str, peer_group: u64) -> SysResult<()> {
         self.charge_syscall();
         let at = self.resolve(pid, path, true)?;
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        st.mount_ns
-            .get_mut(&ns_id)
-            .ok_or(Errno::EINVAL)?
-            .set_propagation(at.loc.mount, Propagation::Shared(peer_group))
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            ns.set_propagation(at.loc.mount, Propagation::Shared(peer_group))
+        })
     }
 
     /// Replicates a new mount at `(parent, ino)` into every namespace whose
     /// copy of `parent` shares a peer group with this one.
-    fn propagate_mount(
-        &self,
-        st: &mut crate::kernel::KState,
-        origin_ns: crate::ns::NamespaceId,
-        parent: MountId,
-        at_ino: Ino,
-    ) {
-        let group = match st
-            .mount_ns
-            .get(&origin_ns)
-            .and_then(|ns| ns.get(parent).ok())
-            .map(|m| m.propagation)
-        {
-            Some(Propagation::Shared(g)) => g,
-            _ => return,
+    ///
+    /// Peer namespaces are visited one at a time — no two inner mount locks
+    /// are ever held together (rule 3 of the locking discipline), so a
+    /// concurrent propagation from another namespace cannot deadlock.
+    fn propagate_mount(&self, origin_ns: crate::ns::NamespaceId, parent: MountId, at_ino: Ino) {
+        let mounts = &self.inner.mounts;
+        let origin = mounts.with_read(origin_ns, |ns| {
+            let group = match ns.get(parent).map(|m| m.propagation) {
+                Ok(Propagation::Shared(g)) => g,
+                _ => return Ok(None),
+            };
+            Ok(ns.mount_at(parent, at_ino).cloned().map(|m| (group, m)))
+        });
+        let Ok(Some((group, new_mount))) = origin else {
+            return;
         };
-        let new_mount = match st
-            .mount_ns
-            .get(&origin_ns)
-            .and_then(|ns| ns.mount_at(parent, at_ino).cloned())
-        {
-            Some(m) => m,
-            None => return,
-        };
-        let mut next_id = st.next_mount;
-        let peer_ns_ids: Vec<crate::ns::NamespaceId> = st
-            .mount_ns
-            .iter()
-            .filter(|(&id, ns)| {
-                id != origin_ns
-                    && ns
+        for ns_id in mounts.ids() {
+            if ns_id == origin_ns {
+                continue;
+            }
+            let is_peer = mounts
+                .with_read(ns_id, |ns| {
+                    Ok(ns
                         .get(parent)
-                        .is_ok_and(|m| m.propagation == Propagation::Shared(group))
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for ns_id in peer_ns_ids {
-            let ns = st.mount_ns.get_mut(&ns_id).expect("listed above");
-            let id = MountId(next_id);
-            next_id += 1;
-            let _ = ns.add_mount(
-                id,
-                Arc::clone(&new_mount.fs),
-                new_mount.root_ino,
-                parent,
-                at_ino,
-                new_mount.cache,
-                new_mount.flags,
-            );
+                        .is_ok_and(|m| m.propagation == Propagation::Shared(group)))
+                })
+                .unwrap_or(false);
+            if !is_peer {
+                continue;
+            }
+            let id = mounts.alloc_mount_id();
+            let _ = mounts.with_write(ns_id, |ns| {
+                // Re-checked under the write lock: the peer may have been
+                // reconfigured between the read and the write.
+                if !ns
+                    .get(parent)
+                    .is_ok_and(|m| m.propagation == Propagation::Shared(group))
+                {
+                    return Ok(());
+                }
+                ns.add_mount(
+                    id,
+                    Arc::clone(&new_mount.fs),
+                    new_mount.root_ino,
+                    parent,
+                    at_ino,
+                    new_mount.cache,
+                    new_mount.flags,
+                )
+                .map(|_| ())
+            });
         }
-        st.next_mount = next_id;
     }
 
     /// Adopts another process's root directory — the effect of
@@ -1441,19 +1458,20 @@ impl Kernel {
             return Err(Errno::EPERM);
         }
         let at = self.resolve(pid, new_root, true)?;
-        let mut st = self.inner.state.lock();
-        let ns_id = st.processes.get(&pid).ok_or(Errno::ESRCH)?.ns.mount;
-        let ns = st.mount_ns.get_mut(&ns_id).ok_or(Errno::EINVAL)?;
-        let m = ns.get(at.loc.mount)?;
-        if m.root_ino != at.loc.ino || m.parent.is_none() {
-            return Err(Errno::EINVAL);
-        }
-        ns.set_root(at.loc.mount)?;
-        let p = st.processes.get_mut(&pid).expect("checked");
-        p.root = at.loc;
-        p.cwd = at.loc;
-        p.cwd_path = "/".to_string();
-        Ok(())
+        let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.mounts.with_write(ns_id, |ns| {
+            let m = ns.get(at.loc.mount)?;
+            if m.root_ino != at.loc.ino || m.parent.is_none() {
+                return Err(Errno::EINVAL);
+            }
+            ns.set_root(at.loc.mount)
+        })?;
+        self.with_proc_mut(pid, |p| {
+            p.root = at.loc;
+            p.cwd = at.loc;
+            p.cwd_path = "/".to_string();
+            Ok(())
+        })
     }
 
     /// Passes an open descriptor to another process (`SCM_RIGHTS`): the
@@ -1510,9 +1528,8 @@ impl Kernel {
         )?;
         let listener = SocketListener::new(path);
         self.inner
-            .state
-            .lock()
             .socket_nodes
+            .lock()
             .insert((parent.fs.fs_id(), st.ino), Arc::clone(&listener));
         self.with_proc_mut(pid, |p| {
             Ok(p.install_fd(FdEntry {
@@ -1539,13 +1556,13 @@ impl Kernel {
         if r.stat.ftype != FileType::Socket {
             return Err(Errno::ENOTSOCK);
         }
-        let listener = {
-            let st = self.inner.state.lock();
-            st.socket_nodes
-                .get(&(r.fs.fs_id(), r.loc.ino))
-                .cloned()
-                .ok_or(Errno::ECONNREFUSED)?
-        };
+        let listener = self
+            .inner
+            .socket_nodes
+            .lock()
+            .get(&(r.fs.fs_id(), r.loc.ino))
+            .cloned()
+            .ok_or(Errno::ECONNREFUSED)?;
         let end: SocketEnd = listener.connect()?;
         self.with_proc_mut(pid, |p| {
             Ok(p.install_fd(FdEntry {

@@ -1,0 +1,214 @@
+//! Multithreaded stress of the sharded kernel: 8 OS threads fork, exec,
+//! attach (setns + adopt_root), mount and umount across 64 containers.
+//!
+//! The assertions are the invariants the giant-lock kernel enforced by
+//! construction and the sharded kernel must preserve under real
+//! concurrency:
+//!
+//! * the test terminates (no deadlock between shard / mount / subsystem
+//!   locks — any ordering bug hangs the suite),
+//! * every pid handed out is unique,
+//! * `/proc` snapshots are never torn (a child observed via `/proc` always
+//!   has a live parent at snapshot time),
+//! * refcounts hold: an umounted filesystem drops back to a single `Arc`
+//!   reference, the process table returns to exactly the survivors, and
+//!   the root cgroup tracks the live pid set.
+
+use cntr_fs::memfs::memfs;
+use cntr_kernel::kernel::KernelConfig;
+use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
+use cntr_types::{DevId, Mode, OpenFlags, Pid, SimClock};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+const THREADS: usize = 8;
+const CONTAINERS: usize = 64;
+const ROUNDS: usize = 25;
+
+struct Harness {
+    kernel: Kernel,
+    clock: SimClock,
+    /// Every pid ever returned by `fork`, for the uniqueness assertion.
+    all_pids: Mutex<HashSet<Pid>>,
+}
+
+impl Harness {
+    fn fork(&self, parent: Pid) -> Pid {
+        let pid = self.kernel.fork(parent).expect("fork");
+        assert!(
+            self.all_pids.lock().unwrap().insert(pid),
+            "duplicate pid {pid} handed out"
+        );
+        pid
+    }
+}
+
+fn read_to_string(kernel: &Kernel, pid: Pid, path: &str) -> String {
+    let fd = kernel
+        .open(pid, path, OpenFlags::RDONLY, Mode::RW_R__R__)
+        .expect("open");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = kernel.read_fd(pid, fd, &mut buf).expect("read");
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    kernel.close(pid, fd).expect("close");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn stress_fork_exec_attach_umount_across_containers() {
+    let clock = SimClock::new();
+    let root = memfs(DevId(1), clock.clone());
+    let kernel = Kernel::with_clock(
+        clock.clone(),
+        root,
+        CacheMode::native(),
+        KernelConfig::default(),
+    );
+    kernel.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+    kernel.mount_procfs(Pid::INIT, "/proc").unwrap();
+
+    let harness = Arc::new(Harness {
+        kernel: kernel.clone(),
+        clock: clock.clone(),
+        all_pids: Mutex::new(HashSet::new()),
+    });
+
+    // 64 containers: own mount + UTS namespaces, private propagation, a
+    // private working directory and an executable "binary".
+    let mut containers = Vec::with_capacity(CONTAINERS);
+    for i in 0..CONTAINERS {
+        let pid = harness.fork(Pid::INIT);
+        kernel
+            .unshare(
+                pid,
+                &[NamespaceKind::Mount, NamespaceKind::Uts, NamespaceKind::Pid],
+            )
+            .expect("unshare");
+        kernel.make_rprivate(pid).expect("make_rprivate");
+        kernel.sethostname(pid, &format!("c{i}")).expect("hostname");
+        let dir = format!("/c{i}");
+        kernel.mkdir(pid, &dir, Mode::RWXR_XR_X).expect("mkdir");
+        let bin = format!("{dir}/tool");
+        let fd = kernel
+            .open(pid, &bin, OpenFlags::create(), Mode::RWXR_XR_X)
+            .expect("create tool");
+        kernel.write_fd(pid, fd, b"#!tool").expect("write tool");
+        kernel.close(pid, fd).expect("close tool");
+        containers.push((pid, dir));
+    }
+
+    let mut handles = Vec::new();
+    let per_thread = CONTAINERS / THREADS;
+    for t in 0..THREADS {
+        let harness = Arc::clone(&harness);
+        let own: Vec<(Pid, String)> = containers[t * per_thread..(t + 1) * per_thread].to_vec();
+        handles.push(std::thread::spawn(move || {
+            let kernel = &harness.kernel;
+            for round in 0..ROUNDS {
+                for (cpid, dir) in &own {
+                    let (cpid, idx) = (*cpid, round % 4);
+
+                    // fork + /proc snapshot consistency: the child's status
+                    // file must name a live parent the instant it exists.
+                    let child = harness.fork(cpid);
+                    let status = read_to_string(kernel, cpid, &format!("/proc/{child}/status"));
+                    assert!(status.contains(&format!("PPid:\t{cpid}")), "{status}");
+
+                    // exec: read the container's tool binary.
+                    let image = kernel
+                        .exec_read(child, &format!("{dir}/tool"))
+                        .expect("exec");
+                    assert_eq!(image, b"#!tool");
+
+                    // attach (the CNTR protocol kernel steps): a host tool
+                    // joins the container's namespaces and adopts its root.
+                    let tool = harness.fork(Pid::INIT);
+                    kernel
+                        .setns(tool, cpid, &[NamespaceKind::Mount, NamespaceKind::Uts])
+                        .expect("setns");
+                    kernel.adopt_root(tool, cpid).expect("adopt_root");
+                    // Joined the container's UTS namespace: same hostname.
+                    assert_eq!(
+                        kernel.gethostname(tool).expect("tool hostname"),
+                        kernel.gethostname(cpid).expect("container hostname"),
+                    );
+
+                    // mount/umount churn in the container's namespace; the
+                    // filesystem must be fully released afterwards.
+                    let sub = memfs(DevId(10_000 + child.raw() as u64), harness.clock.clone());
+                    let at = format!("{dir}/m{idx}");
+                    let _ = kernel.mkdir(cpid, &at, Mode::RWXR_XR_X);
+                    kernel
+                        .mount_fs(
+                            cpid,
+                            &at,
+                            Arc::clone(&sub) as Arc<dyn cntr_fs::Filesystem>,
+                            CacheMode::native(),
+                            MountFlags::default(),
+                        )
+                        .expect("mount");
+                    let fd = kernel
+                        .open(
+                            cpid,
+                            &format!("{at}/x"),
+                            OpenFlags::create(),
+                            Mode::RW_R__R__,
+                        )
+                        .expect("create in mount");
+                    kernel.close(cpid, fd).expect("close");
+                    kernel.umount(cpid, &at).expect("umount");
+                    assert_eq!(
+                        Arc::strong_count(&sub),
+                        1,
+                        "umounted filesystem must drop to one reference"
+                    );
+
+                    // Environment churn on the container (shard-local).
+                    kernel
+                        .setenv(cpid, "ROUND", &round.to_string())
+                        .expect("setenv");
+
+                    // Tear down this round's processes.
+                    kernel.exit(tool).expect("exit tool");
+                    kernel.reap(tool).expect("reap tool");
+                    kernel.exit(child).expect("exit child");
+                    kernel.reap(child).expect("reap child");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("stress thread must not panic");
+    }
+
+    // Survivors: init + the 64 containers, exactly.
+    let mut expected: Vec<Pid> = vec![Pid::INIT];
+    expected.extend(containers.iter().map(|(p, _)| *p));
+    expected.sort_unstable();
+    assert_eq!(kernel.pids(), expected);
+
+    // The root cgroup tracks exactly the live pid set (every transient
+    // process was detached on exit).
+    let members = kernel
+        .cgroup_members(&cntr_kernel::CgroupPath::root())
+        .expect("members");
+    let mut members = members;
+    members.sort_unstable();
+    assert_eq!(members, expected);
+
+    // Hostname isolation survived the churn.
+    for (i, (pid, _)) in containers.iter().enumerate() {
+        assert_eq!(kernel.gethostname(*pid).unwrap(), format!("c{i}"));
+    }
+    assert_eq!(kernel.gethostname(Pid::INIT).unwrap(), "host");
+
+    // Total forks: setup + 2 per container-round, all unique.
+    let total = harness.all_pids.lock().unwrap().len();
+    assert_eq!(total, CONTAINERS + CONTAINERS * ROUNDS * 2);
+}

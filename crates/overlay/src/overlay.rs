@@ -94,6 +94,82 @@ struct OvlState {
     /// Paths opened for reading while access tracking is on (the overlay
     /// replacement for fanotify in `cntr-slim`).
     accessed: BTreeSet<String>,
+    /// Dentry cache: parent overlay ino → name → `Some(child)` for a
+    /// previously merged child, `None` for a confirmed-absent name (a
+    /// negative entry). A hit answers a lookup with one `getattr` against
+    /// the primary realization instead of one `lookup` per layer; the
+    /// two-level shape keeps the hot probe allocation-free (`&str` lookup
+    /// in the inner map). Invalidated by every naming mutation (create,
+    /// unlink, rmdir, rename, whiteout); overlay inos are never reused, so
+    /// entries cannot alias a recycled identity. Bounded by
+    /// [`DCACHE_CAP`]: on overflow the whole cache is dropped (it is a
+    /// cache — correctness never depends on its contents).
+    dcache: HashMap<Ino, HashMap<String, Option<Ino>>>,
+    /// Total entries across all of `dcache`'s inner maps.
+    dcache_len: usize,
+    /// Merged-listing cache per overlay directory: makes repeated
+    /// `readdir`/`nlink` computations on a hot merged directory stop
+    /// re-reading every contributing layer. Invalidated alongside the
+    /// dentry cache whenever the directory's namespace changes; bounded by
+    /// [`DIR_CACHE_CAP`] directories.
+    dir_cache: HashMap<Ino, DirCacheEntry>,
+}
+
+/// Upper bound on cached dentries (positive + negative) per overlay.
+const DCACHE_CAP: usize = 65_536;
+
+/// Upper bound on cached merged directory listings per overlay.
+const DIR_CACHE_CAP: usize = 1_024;
+
+/// One cached merged listing plus the derived subdirectory count (`nlink`
+/// wants only the count — serving it from here avoids cloning the map).
+struct DirCacheEntry {
+    names: BTreeMap<String, FileType>,
+    subdirs: u32,
+}
+
+impl OvlState {
+    /// Drops cached naming state after a mutation of `name` under `parent`.
+    /// With `negative`, the entry is replaced by a confirmed absence
+    /// (unlink/rmdir leave the name resolvable to `ENOENT`); otherwise the
+    /// entry is simply forgotten and the next lookup re-merges.
+    fn invalidate_entry(&mut self, parent: Ino, name: &str, negative: bool) {
+        if negative {
+            self.remember_entry(parent, name, None);
+        } else if let Some(entries) = self.dcache.get_mut(&parent) {
+            if entries.remove(name).is_some() {
+                self.dcache_len -= 1;
+            }
+        }
+        self.dir_cache.remove(&parent);
+    }
+
+    /// Records a merge outcome for `name` under `parent`, dropping the
+    /// whole cache first if it has reached [`DCACHE_CAP`].
+    fn remember_entry(&mut self, parent: Ino, name: &str, child: Option<Ino>) {
+        if self.dcache_len >= DCACHE_CAP {
+            self.dcache.clear();
+            self.dcache_len = 0;
+        }
+        if self
+            .dcache
+            .entry(parent)
+            .or_default()
+            .insert(name.to_string(), child)
+            .is_none()
+        {
+            self.dcache_len += 1;
+        }
+    }
+
+    /// Forgets one cached dentry (stale positive hit).
+    fn forget_entry(&mut self, parent: Ino, name: &str) {
+        if let Some(entries) = self.dcache.get_mut(&parent) {
+            if entries.remove(name).is_some() {
+                self.dcache_len -= 1;
+            }
+        }
+    }
 }
 
 /// Copy-on-write union of N read-only lowers and one writable upper.
@@ -194,6 +270,9 @@ impl OverlayFs {
                 next_ino: 2,
                 next_fh: 1,
                 accessed: BTreeSet::new(),
+                dcache: HashMap::new(),
+                dcache_len: 0,
+                dir_cache: HashMap::new(),
             }),
             track_access: AtomicBool::new(false),
         })
@@ -317,10 +396,48 @@ impl OverlayFs {
 
     /// Resolves `name` under overlay directory `parent`, assigning (or
     /// reusing) an overlay ino. Returns `(ovl_ino, fixed-up stat)`.
+    ///
+    /// Hot lookups are answered from the dentry cache: a positive hit costs
+    /// one `getattr` against the primary realization, a negative hit costs
+    /// nothing — neither re-consults every lower layer.
     fn merge_child(&self, st: &mut OvlState, parent: Ino, name: &str) -> SysResult<(Ino, Stat)> {
         if name.len() > MAX_NAME_LEN {
             return Err(Errno::ENAMETOOLONG);
         }
+        let cached = st.dcache.get(&parent).and_then(|m| m.get(name).copied());
+        if let Some(cached) = cached {
+            match cached {
+                None => return Err(Errno::ENOENT),
+                Some(child) => {
+                    let primary = st.nodes.get(&child).map(OvlNode::primary);
+                    if let Some((k, i)) = primary {
+                        if let Ok(stt) = self.layer_fs(k).getattr(i) {
+                            let stat = self.fixup_stat(st, child, stt);
+                            return Ok((child, stat));
+                        }
+                    }
+                    // Stale (realization vanished): forget and re-merge.
+                    st.forget_entry(parent, name);
+                }
+            }
+        }
+        let res = self.merge_child_slow(st, parent, name);
+        match &res {
+            Ok((child, _)) => st.remember_entry(parent, name, Some(*child)),
+            Err(Errno::ENOENT) => st.remember_entry(parent, name, None),
+            Err(_) => {}
+        }
+        res
+    }
+
+    /// The uncached merge: consults the upper layer and every contributing
+    /// lower layer. See [`OverlayFs::merge_child`] for the cached entry.
+    fn merge_child_slow(
+        &self,
+        st: &mut OvlState,
+        parent: Ino,
+        name: &str,
+    ) -> SysResult<(Ino, Stat)> {
         let pnode = Self::node(st, parent)?.clone();
         // The parent must be a directory in its primary realization.
         let (pk, pi) = pnode.primary();
@@ -408,17 +525,15 @@ impl OverlayFs {
 
     /// Rewrites dev/ino to overlay identities; recomputes nlink for merged
     /// directories.
-    fn fixup_stat(&self, st: &OvlState, ovl_ino: Ino, mut stat: Stat) -> Stat {
+    fn fixup_stat(&self, st: &mut OvlState, ovl_ino: Ino, mut stat: Stat) -> Stat {
         stat.dev = self.dev;
         stat.ino = ovl_ino;
         if stat.ftype == FileType::Directory {
-            if let Some(node) = st.nodes.get(&ovl_ino) {
+            let node = st.nodes.get(&ovl_ino).cloned();
+            if let Some(node) = node {
                 if node.realization_count() > 1 {
-                    if let Ok(names) = self.merged_names(st, node) {
-                        stat.nlink = 2 + names
-                            .values()
-                            .filter(|t| **t == FileType::Directory)
-                            .count() as u32;
+                    if let Ok(subdirs) = self.merged_subdir_count(st, ovl_ino, &node) {
+                        stat.nlink = 2 + subdirs;
                     }
                 }
             }
@@ -426,12 +541,48 @@ impl OverlayFs {
         stat
     }
 
-    /// The merged directory listing `name → file type` of a node.
+    /// The merged directory listing `name → file type` of a node, served
+    /// from the per-directory cache when warm (one `BTreeMap` clone instead
+    /// of a `readdir` + whiteout scan of every contributing layer).
     fn merged_names(
         &self,
-        _st: &OvlState,
+        st: &mut OvlState,
+        dir: Ino,
         node: &OvlNode,
     ) -> SysResult<BTreeMap<String, FileType>> {
+        if let Some(cached) = st.dir_cache.get(&dir) {
+            return Ok(cached.names.clone());
+        }
+        let out = self.merged_names_uncached(node)?;
+        if st.dir_cache.len() >= DIR_CACHE_CAP {
+            st.dir_cache.clear();
+        }
+        st.dir_cache.insert(
+            dir,
+            DirCacheEntry {
+                subdirs: out.values().filter(|t| **t == FileType::Directory).count() as u32,
+                names: out.clone(),
+            },
+        );
+        Ok(out)
+    }
+
+    /// The number of subdirectories in a merged directory (what `nlink`
+    /// needs) — served from the cache without cloning the listing.
+    fn merged_subdir_count(&self, st: &mut OvlState, dir: Ino, node: &OvlNode) -> SysResult<u32> {
+        if let Some(cached) = st.dir_cache.get(&dir) {
+            return Ok(cached.subdirs);
+        }
+        self.merged_names(st, dir, node).map(|names| {
+            names
+                .values()
+                .filter(|t| **t == FileType::Directory)
+                .count() as u32
+        })
+    }
+
+    /// The uncached merged listing computed from every layer.
+    fn merged_names_uncached(&self, node: &OvlNode) -> SysResult<BTreeMap<String, FileType>> {
         let mut out: BTreeMap<String, FileType> = BTreeMap::new();
         let mut hidden: BTreeSet<String> = BTreeSet::new();
         if let Some(up) = node.upper {
@@ -621,7 +772,7 @@ impl OverlayFs {
     fn copy_up_tree(&self, st: &mut OvlState, ovl: Ino) -> SysResult<Ino> {
         let up = self.ensure_upper_dir(st, ovl)?;
         let node = Self::node(st, ovl)?.clone();
-        let names: Vec<String> = self.merged_names(st, &node)?.into_keys().collect();
+        let names: Vec<String> = self.merged_names(st, ovl, &node)?.into_keys().collect();
         for name in names {
             let (child, child_st) = self.merge_child(st, ovl, &name)?;
             if child_st.ftype == FileType::Directory {
@@ -721,6 +872,10 @@ impl OverlayFs {
                 lowers: Vec::new(),
             },
         );
+        // The creation overwrites any negative dentry for this name and
+        // invalidates the parent's merged listing.
+        st.dir_cache.remove(&parent);
+        st.remember_entry(parent, name, Some(ovl_ino));
         self.fixup_stat(st, ovl_ino, created)
     }
 }
@@ -756,17 +911,17 @@ impl Filesystem for OverlayFs {
             if stt.ftype != FileType::Directory {
                 return Err(Errno::ENOTDIR);
             }
-            return Ok(self.fixup_stat(&st, parent, stt));
+            return Ok(self.fixup_stat(&mut st, parent, stt));
         }
         self.merge_child(&mut st, parent, name).map(|(_, s)| s)
     }
 
     fn getattr(&self, ino: Ino) -> SysResult<Stat> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
         let node = Self::node(&st, ino)?.clone();
         let (k, i) = node.primary();
         let stt = self.layer_fs(k).getattr(i)?;
-        Ok(self.fixup_stat(&st, ino, stt))
+        Ok(self.fixup_stat(&mut st, ino, stt))
     }
 
     fn setattr(&self, ino: Ino, attr: &SetAttr, ctx: &FsContext) -> SysResult<Stat> {
@@ -784,7 +939,7 @@ impl Filesystem for OverlayFs {
             }
         };
         let stt = self.upper.setattr(up, attr, ctx)?;
-        Ok(self.fixup_stat(&st, ino, stt))
+        Ok(self.fixup_stat(&mut st, ino, stt))
     }
 
     fn mknod(
@@ -801,14 +956,28 @@ impl Filesystem for OverlayFs {
         }
         let mut st = self.state.lock();
         let (pu, _) = self.prepare_create(&mut st, parent, name)?;
-        let created = self.upper.mknod(pu, name, ftype, mode, rdev, ctx)?;
+        let created = match self.upper.mknod(pu, name, ftype, mode, rdev, ctx) {
+            Ok(c) => c,
+            Err(e) => {
+                // A whiteout may have been cleared: the cached negative
+                // dentry is stale, so force the next lookup to re-merge.
+                st.invalidate_entry(parent, name, false);
+                return Err(e);
+            }
+        };
         Ok(self.register_created(&mut st, parent, name, created))
     }
 
     fn mkdir(&self, parent: Ino, name: &str, mode: Mode, ctx: &FsContext) -> SysResult<Stat> {
         let mut st = self.state.lock();
         let (pu, had_whiteout) = self.prepare_create(&mut st, parent, name)?;
-        let created = self.upper.mkdir(pu, name, mode, ctx)?;
+        let created = match self.upper.mkdir(pu, name, mode, ctx) {
+            Ok(c) => c,
+            Err(e) => {
+                st.invalidate_entry(parent, name, false);
+                return Err(e);
+            }
+        };
         if had_whiteout {
             // A lower directory may exist beneath the removed whiteout; the
             // new directory must not merge with it.
@@ -836,6 +1005,7 @@ impl Filesystem for OverlayFs {
             self.make_whiteout(pu, name)?;
         }
         self.drop_node_mappings(&mut st, child);
+        st.invalidate_entry(parent, name, true);
         Ok(())
     }
 
@@ -847,7 +1017,7 @@ impl Filesystem for OverlayFs {
             return Err(Errno::ENOTDIR);
         }
         let node = Self::node(&st, child)?.clone();
-        if !self.merged_names(&st, &node)?.is_empty() {
+        if !self.merged_names(&mut st, child, &node)?.is_empty() {
             return Err(Errno::ENOTEMPTY);
         }
         if let Some(u) = node.upper {
@@ -865,13 +1035,21 @@ impl Filesystem for OverlayFs {
             self.make_whiteout(pu, name)?;
         }
         self.drop_node_mappings(&mut st, child);
+        st.invalidate_entry(parent, name, true);
+        st.dir_cache.remove(&child);
         Ok(())
     }
 
     fn symlink(&self, parent: Ino, name: &str, target: &str, ctx: &FsContext) -> SysResult<Stat> {
         let mut st = self.state.lock();
         let (pu, _) = self.prepare_create(&mut st, parent, name)?;
-        let created = self.upper.symlink(pu, name, target, ctx)?;
+        let created = match self.upper.symlink(pu, name, target, ctx) {
+            Ok(c) => c,
+            Err(e) => {
+                st.invalidate_entry(parent, name, false);
+                return Err(e);
+            }
+        };
         Ok(self.register_created(&mut st, parent, name, created))
     }
 
@@ -901,8 +1079,16 @@ impl Filesystem for OverlayFs {
         let u = self.copy_up(&mut st, ino, false)?;
         let npu = self.ensure_upper_dir(&mut st, newparent)?;
         self.clear_whiteout(npu, newname)?;
-        let stt = self.upper.link(u, npu, newname)?;
-        Ok(self.fixup_stat(&st, ino, stt))
+        let stt = match self.upper.link(u, npu, newname) {
+            Ok(s) => s,
+            Err(e) => {
+                st.invalidate_entry(newparent, newname, false);
+                return Err(e);
+            }
+        };
+        st.dir_cache.remove(&newparent);
+        st.remember_entry(newparent, newname, Some(ino));
+        Ok(self.fixup_stat(&mut st, ino, stt))
     }
 
     fn rename(
@@ -957,6 +1143,8 @@ impl Filesystem for OverlayFs {
                 n.parent = parent;
                 n.name = name.to_string();
             }
+            st.invalidate_entry(parent, name, false);
+            st.invalidate_entry(newparent, newname, false);
             return Ok(());
         }
 
@@ -979,7 +1167,7 @@ impl Filesystem for OverlayFs {
                 (true, false) => return Err(Errno::ENOTDIR),
                 (true, true) => {
                     let dnode = Self::node(&st, *dst_ovl)?.clone();
-                    if !self.merged_names(&st, &dnode)?.is_empty() {
+                    if !self.merged_names(&mut st, *dst_ovl, &dnode)?.is_empty() {
                         return Err(Errno::ENOTEMPTY);
                     }
                     dst_had_lower_dir = !dnode.lowers.is_empty();
@@ -1025,8 +1213,13 @@ impl Filesystem for OverlayFs {
                 self.clear_whiteout(npu, newname)?;
             }
         }
-        self.upper
-            .rename(pu, name, npu, newname, RenameFlags::NONE)?;
+        if let Err(e) = self.upper.rename(pu, name, npu, newname, RenameFlags::NONE) {
+            // Whiteout clearing may already have happened: drop both names
+            // from the cache so lookups re-merge the real state.
+            st.invalidate_entry(parent, name, false);
+            st.invalidate_entry(newparent, newname, false);
+            return Err(e);
+        }
 
         // The vacated source name may still be visible from lower layers.
         if self.lower_visible(&Self::node(&st, parent)?.clone(), name) {
@@ -1048,6 +1241,12 @@ impl Filesystem for OverlayFs {
             n.name = newname.to_string();
             n.lowers.clear();
         }
+        // The vacated source name now resolves to ENOENT (moved away, or
+        // hidden by the whiteout just created); the destination maps to the
+        // moved node.
+        st.invalidate_entry(parent, name, true);
+        st.dir_cache.remove(&newparent);
+        st.remember_entry(newparent, newname, Some(src));
         Ok(())
     }
 
@@ -1125,7 +1324,7 @@ impl Filesystem for OverlayFs {
         if self.layer_fs(k).getattr(i)?.ftype != FileType::Directory {
             return Err(Errno::ENOTDIR);
         }
-        let names = self.merged_names(&st, &node)?;
+        let names = self.merged_names(&mut st, ino, &node)?;
         let mut out = Vec::with_capacity(names.len());
         for (name, _) in names {
             let (child_ino, child_st) = self.merge_child(&mut st, ino, &name)?;

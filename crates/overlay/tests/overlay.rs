@@ -421,3 +421,306 @@ fn statfs_and_fs_identity() {
     assert!(s.overlay.fs_options().contains("lowerdir=2x"));
     assert!(s.overlay.statfs().unwrap().blocks > 0);
 }
+
+// ---------------------------------------------------------------------
+// Dentry + negative-lookup cache
+// ---------------------------------------------------------------------
+
+mod dcache {
+    use super::*;
+    use cntr_fs::{FallocateMode, Fh, FsFeatures};
+    use cntr_types::{Dirent, RenameFlags, Statfs, SysResult};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A lower layer that counts how often the overlay consults it.
+    struct CountingFs {
+        inner: Arc<dyn Filesystem>,
+        lookups: AtomicU64,
+        readdirs: AtomicU64,
+    }
+
+    impl CountingFs {
+        fn new(inner: Arc<dyn Filesystem>) -> Arc<CountingFs> {
+            Arc::new(CountingFs {
+                inner,
+                lookups: AtomicU64::new(0),
+                readdirs: AtomicU64::new(0),
+            })
+        }
+
+        fn lookups(&self) -> u64 {
+            self.lookups.load(Ordering::Relaxed)
+        }
+
+        fn readdirs(&self) -> u64 {
+            self.readdirs.load(Ordering::Relaxed)
+        }
+    }
+
+    impl Filesystem for CountingFs {
+        fn fs_id(&self) -> DevId {
+            self.inner.fs_id()
+        }
+        fn fs_type(&self) -> &'static str {
+            self.inner.fs_type()
+        }
+        fn features(&self) -> FsFeatures {
+            self.inner.features()
+        }
+        fn lookup(&self, parent: Ino, name: &str) -> SysResult<cntr_types::Stat> {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
+            self.inner.lookup(parent, name)
+        }
+        fn getattr(&self, ino: Ino) -> SysResult<cntr_types::Stat> {
+            self.inner.getattr(ino)
+        }
+        fn setattr(
+            &self,
+            ino: Ino,
+            attr: &SetAttr,
+            ctx: &FsContext,
+        ) -> SysResult<cntr_types::Stat> {
+            self.inner.setattr(ino, attr, ctx)
+        }
+        fn mknod(
+            &self,
+            parent: Ino,
+            name: &str,
+            ftype: FileType,
+            mode: Mode,
+            rdev: u64,
+            ctx: &FsContext,
+        ) -> SysResult<cntr_types::Stat> {
+            self.inner.mknod(parent, name, ftype, mode, rdev, ctx)
+        }
+        fn mkdir(
+            &self,
+            parent: Ino,
+            name: &str,
+            mode: Mode,
+            ctx: &FsContext,
+        ) -> SysResult<cntr_types::Stat> {
+            self.inner.mkdir(parent, name, mode, ctx)
+        }
+        fn unlink(&self, parent: Ino, name: &str) -> SysResult<()> {
+            self.inner.unlink(parent, name)
+        }
+        fn rmdir(&self, parent: Ino, name: &str) -> SysResult<()> {
+            self.inner.rmdir(parent, name)
+        }
+        fn symlink(
+            &self,
+            parent: Ino,
+            name: &str,
+            target: &str,
+            ctx: &FsContext,
+        ) -> SysResult<cntr_types::Stat> {
+            self.inner.symlink(parent, name, target, ctx)
+        }
+        fn readlink(&self, ino: Ino) -> SysResult<String> {
+            self.inner.readlink(ino)
+        }
+        fn link(&self, ino: Ino, newparent: Ino, newname: &str) -> SysResult<cntr_types::Stat> {
+            self.inner.link(ino, newparent, newname)
+        }
+        fn rename(
+            &self,
+            parent: Ino,
+            name: &str,
+            newparent: Ino,
+            newname: &str,
+            flags: RenameFlags,
+        ) -> SysResult<()> {
+            self.inner.rename(parent, name, newparent, newname, flags)
+        }
+        fn open(&self, ino: Ino, flags: OpenFlags) -> SysResult<Fh> {
+            self.inner.open(ino, flags)
+        }
+        fn release(&self, ino: Ino, fh: Fh) -> SysResult<()> {
+            self.inner.release(ino, fh)
+        }
+        fn read(&self, ino: Ino, fh: Fh, offset: u64, buf: &mut [u8]) -> SysResult<usize> {
+            self.inner.read(ino, fh, offset, buf)
+        }
+        fn write(&self, ino: Ino, fh: Fh, offset: u64, data: &[u8]) -> SysResult<usize> {
+            self.inner.write(ino, fh, offset, data)
+        }
+        fn fsync(&self, ino: Ino, fh: Fh, datasync: bool) -> SysResult<()> {
+            self.inner.fsync(ino, fh, datasync)
+        }
+        fn readdir(&self, ino: Ino) -> SysResult<Vec<Dirent>> {
+            self.readdirs.fetch_add(1, Ordering::Relaxed);
+            self.inner.readdir(ino)
+        }
+        fn statfs(&self) -> SysResult<Statfs> {
+            self.inner.statfs()
+        }
+        fn getxattr(&self, ino: Ino, name: &str) -> SysResult<Vec<u8>> {
+            self.inner.getxattr(ino, name)
+        }
+        fn setxattr(&self, ino: Ino, name: &str, value: &[u8], flags: XattrFlags) -> SysResult<()> {
+            self.inner.setxattr(ino, name, value, flags)
+        }
+        fn listxattr(&self, ino: Ino) -> SysResult<Vec<String>> {
+            self.inner.listxattr(ino)
+        }
+        fn removexattr(&self, ino: Ino, name: &str) -> SysResult<()> {
+            self.inner.removexattr(ino, name)
+        }
+        fn fallocate(
+            &self,
+            ino: Ino,
+            fh: Fh,
+            offset: u64,
+            len: u64,
+            mode: FallocateMode,
+        ) -> SysResult<()> {
+            self.inner.fallocate(ino, fh, offset, len, mode)
+        }
+    }
+
+    /// Overlay whose single lower layer counts every consultation.
+    fn counting_stack() -> (Arc<OverlayFs>, Arc<CountingFs>) {
+        let store = BlobStore::new();
+        let clock = SimClock::new();
+        let ctx = FsContext::root();
+        let base = blobfs(DevId(10), clock.clone(), Arc::clone(&store));
+        let dir = base.mkdir(Ino::ROOT, "dir", Mode::RWXR_XR_X, &ctx).unwrap();
+        for i in 0..4 {
+            base.mknod(
+                dir.ino,
+                &format!("f{i}"),
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &ctx,
+            )
+            .unwrap();
+        }
+        let counting = CountingFs::new(base);
+        let upper = blobfs(DevId(11), clock, store);
+        let overlay = OverlayFs::new(
+            DevId(12),
+            vec![Arc::clone(&counting) as Arc<dyn Filesystem>],
+            upper,
+        );
+        (overlay, counting)
+    }
+
+    #[test]
+    fn hot_lookup_stops_consulting_lower_layers() {
+        let (ovl, lower) = counting_stack();
+        let first = resolve(ovl.as_ref(), "/dir/f0").unwrap();
+        let cold = lower.lookups();
+        assert!(cold > 0, "cold lookup must consult the lower layer");
+        for _ in 0..10 {
+            let again = resolve(ovl.as_ref(), "/dir/f0").unwrap();
+            assert_eq!(again.ino, first.ino);
+        }
+        assert_eq!(
+            lower.lookups(),
+            cold,
+            "warm lookups must be served from the dentry cache"
+        );
+    }
+
+    #[test]
+    fn negative_lookups_are_cached() {
+        let (ovl, lower) = counting_stack();
+        let dir = resolve(ovl.as_ref(), "/dir").unwrap();
+        assert_eq!(
+            ovl.lookup(dir.ino, "missing").map(|_| ()),
+            Err(Errno::ENOENT)
+        );
+        let cold = lower.lookups();
+        for _ in 0..10 {
+            assert_eq!(
+                ovl.lookup(dir.ino, "missing").map(|_| ()),
+                Err(Errno::ENOENT)
+            );
+        }
+        assert_eq!(
+            lower.lookups(),
+            cold,
+            "repeated ENOENT lookups must hit the negative cache"
+        );
+        // Creating the name must overwrite the negative entry.
+        let ctx = FsContext::root();
+        ovl.mknod(
+            dir.ino,
+            "missing",
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &ctx,
+        )
+        .unwrap();
+        assert!(ovl.lookup(dir.ino, "missing").is_ok());
+    }
+
+    #[test]
+    fn merged_readdir_is_cached_and_invalidated_on_create() {
+        let (ovl, lower) = counting_stack();
+        let dir = resolve(ovl.as_ref(), "/dir").unwrap();
+        let n1 = names(ovl.as_ref(), "/dir").len();
+        let cold = lower.readdirs();
+        for _ in 0..5 {
+            assert_eq!(names(ovl.as_ref(), "/dir").len(), n1);
+        }
+        assert_eq!(
+            lower.readdirs(),
+            cold,
+            "warm merged readdir must not re-read the lower layer"
+        );
+        let ctx = FsContext::root();
+        ovl.mknod(dir.ino, "new", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+            .unwrap();
+        assert_eq!(
+            names(ovl.as_ref(), "/dir").len(),
+            n1 + 1,
+            "create refreshes"
+        );
+    }
+
+    #[test]
+    fn unlink_and_rename_invalidate_cached_entries() {
+        let (ovl, _lower) = counting_stack();
+        let dir = resolve(ovl.as_ref(), "/dir").unwrap();
+        // Warm the cache, then unlink: the name must go negative.
+        assert!(resolve(ovl.as_ref(), "/dir/f1").is_ok());
+        ovl.unlink(dir.ino, "f1").unwrap();
+        assert_eq!(
+            resolve(ovl.as_ref(), "/dir/f1").map(|_| ()),
+            Err(Errno::ENOENT)
+        );
+        // Rename: source goes negative, destination resolves to the node.
+        let f2 = resolve(ovl.as_ref(), "/dir/f2").unwrap();
+        ovl.rename(dir.ino, "f2", dir.ino, "renamed", RenameFlags::NONE)
+            .unwrap();
+        assert_eq!(
+            resolve(ovl.as_ref(), "/dir/f2").map(|_| ()),
+            Err(Errno::ENOENT)
+        );
+        assert_eq!(resolve(ovl.as_ref(), "/dir/renamed").unwrap().ino, f2.ino);
+    }
+
+    #[test]
+    fn negative_cache_is_bounded() {
+        let (ovl, _lower) = counting_stack();
+        let dir = resolve(ovl.as_ref(), "/dir").unwrap();
+        // Probe far more distinct missing names than the cache cap: memory
+        // stays bounded (the cache self-clears on overflow) and correctness
+        // is unaffected afterwards.
+        for i in 0..70_000u32 {
+            assert_eq!(
+                ovl.lookup(dir.ino, &format!("nope-{i}")).map(|_| ()),
+                Err(Errno::ENOENT)
+            );
+        }
+        assert!(resolve(ovl.as_ref(), "/dir/f0").is_ok());
+        assert_eq!(
+            ovl.lookup(dir.ino, "nope-1").map(|_| ()),
+            Err(Errno::ENOENT)
+        );
+    }
+}

@@ -4,7 +4,7 @@ use cntr_blockdev::{BlockDevice, DiskModel};
 use cntr_core::CntrfsServer;
 use cntr_fs::diskfs::diskfs_on;
 use cntr_fs::memfs::memfs;
-use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport};
+use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport, ThreadedTransport, Transport};
 use cntr_kernel::kernel::KernelConfig;
 use cntr_kernel::{CacheMode, Kernel, MountFlags};
 use cntr_types::{DevId, Errno, Mode, OpenFlags, Pid, SimClock, SysResult, Timespec};
@@ -15,8 +15,15 @@ use std::sync::Arc;
 pub enum Target {
     /// Directly on the ext4-like filesystem (the paper's baseline).
     Native,
-    /// Through CntrFS mounted over the same filesystem.
+    /// Through CntrFS mounted over the same filesystem, requests served on
+    /// the calling thread (deterministic inline transport).
     Cntrfs(FuseConfig),
+    /// Through CntrFS with `config.workers` **real OS worker threads**
+    /// pulling requests off the `/dev/fuse` queue ([`ThreadedTransport`]) —
+    /// the dispatch shape of the paper's Figure 4. Virtual-time accounting
+    /// is unchanged (one request in flight per caller), so results stay
+    /// deterministic while every request crosses a real thread boundary.
+    CntrfsThreaded(FuseConfig),
 }
 
 /// A benchmark machine: gp2-backed `/data`, optionally re-exported through
@@ -74,10 +81,15 @@ impl PerfEnv {
                 device,
                 client: None,
             },
-            Target::Cntrfs(config) => {
+            Target::Cntrfs(config) | Target::CntrfsThreaded(config) => {
                 let server_pid = kernel.fork(Pid::INIT).expect("fork server");
                 let server = CntrfsServer::new(kernel.clone(), server_pid);
-                let transport = InlineTransport::new(server);
+                let transport: Arc<dyn Transport> = match target {
+                    Target::CntrfsThreaded(_) => {
+                        Arc::new(ThreadedTransport::new(server, config.workers))
+                    }
+                    _ => InlineTransport::new(server),
+                };
                 let client =
                     FuseClientFs::mount(DevId(0xF00D), clock, kernel.cost(), config, transport)
                         .expect("mount cntrfs");

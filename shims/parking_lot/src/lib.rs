@@ -1,7 +1,9 @@
 //! Offline subset of `parking_lot`: non-poisoning `Mutex` and `RwLock`
 //! wrappers over `std::sync`. Only the surface this workspace uses.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual exclusion primitive. Unlike `std::sync::Mutex`, `lock()` does
 /// not return a poison `Result`: a panic while holding the lock does not
