@@ -14,7 +14,7 @@ use cntr_fs::memfs::memfs;
 use cntr_fs::{Filesystem, FsContext};
 use cntr_kernel::cred::Credentials;
 use cntr_kernel::devfs;
-use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
+use cntr_kernel::{CacheMode, CgroupPath, Kernel, MountFlags, NamespaceKind};
 use cntr_overlay::{blobfs, BlobFs, BlobStore, OverlayFs};
 use cntr_types::{DevId, Errno, Mode, Pid, SysResult};
 use parking_lot::Mutex;
@@ -350,13 +350,27 @@ impl ContainerRuntime {
         v
     }
 
-    /// Stops and removes a container. The shared lower layers stay cached
-    /// for future containers; only the private upper is dropped.
+    /// Stops and removes a container. Reaping the container's init is what
+    /// actually frees its namespaces: the kernel's refcount-driven GC
+    /// drops the mount table (and the rootfs `Arc` it pinned), the
+    /// hostname, and any sockets bound inside — the engine only cleans up
+    /// what it created *outside* the container: the cgroup node and the
+    /// host-side bookkeeping directory. The shared lower layers stay
+    /// cached for future containers; only the private upper is dropped.
     pub fn stop(&self, name: &str) -> SysResult<()> {
         let container = self.containers.lock().remove(name).ok_or(Errno::ESRCH)?;
         self.overlays.lock().remove(name);
         self.kernel.exit(container.pid)?;
         self.kernel.reap(container.pid)?;
+        // Purge the dead container from cgroup bookkeeping (members were
+        // detached at exit; EBUSY only if someone attached a foreign pid).
+        let _ = self
+            .kernel
+            .cgroup_remove(&CgroupPath(container.cgroup.clone()));
+        // The bookkeeping dir lives in the *parent's* namespace — for a
+        // nested container that namespace may already be gone; best-effort.
+        let host_dir = format!("/var/lib/{}/{}", self.kind.dir_name(), container.id);
+        let _ = self.kernel.rmdir(Pid::INIT, &host_dir);
         Ok(())
     }
 }

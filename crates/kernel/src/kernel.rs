@@ -13,13 +13,13 @@ use crate::pagecache::{PageCache, PageCacheStats};
 use crate::pipe::Pipe;
 use crate::process::{FdEntry, FileKind, OpenFile, Process, ProcessState, VfsLoc};
 use crate::socket::{SocketEnd, SocketListener};
-use crate::table::{MountTable, ProcTable, DEFAULT_PROC_SHARDS};
+use crate::table::{MountTable, NsRefs, ProcTable, DEFAULT_PROC_SHARDS};
 use cntr_fs::Filesystem;
 use cntr_types::{
     Capability, CostModel, DevId, Errno, Ino, OpenFlags, Pid, RlimitSet, SimClock, SysResult,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -61,6 +61,16 @@ pub struct FanotifyEvent {
     pub path: String,
 }
 
+/// A Unix socket listener bound to a filesystem inode, tagged with the
+/// mount namespace it was bound in so namespace GC can drop it — a dead
+/// container's listener must not keep accepting connections.
+pub(crate) struct BoundSocket {
+    /// Mount namespace of the binding process.
+    pub mnt_ns: NamespaceId,
+    /// The listener backlog.
+    pub listener: Arc<SocketListener>,
+}
+
 /// The kernel's shared state, decomposed into independently locked
 /// subsystems (see [`crate::table`] for the lock-ordering discipline).
 pub(crate) struct KernelInner {
@@ -71,17 +81,24 @@ pub(crate) struct KernelInner {
     pub procs: ProcTable,
     /// Per-namespace mount tables.
     pub mounts: MountTable,
+    /// Per-namespace process refcounts — drives namespace GC (see
+    /// [`crate::table`] for the refcount rules).
+    pub ns_refs: NsRefs,
     /// Namespace-id allocator (all seven kinds share the number space).
     pub next_ns: AtomicU64,
     /// The cgroup hierarchy.
     pub cgroups: Mutex<CgroupTree>,
     /// UTS-namespace hostnames.
     pub hostnames: RwLock<HashMap<NamespaceId, String>>,
-    /// Listening Unix sockets, keyed by the socket inode they are bound to.
-    pub socket_nodes: Mutex<HashMap<(DevId, Ino), Arc<SocketListener>>>,
-    /// fanotify-style access recording (Docker Slim's mechanism): when
-    /// armed, successful opens/execs append events here.
-    pub fanotify: Mutex<Option<Vec<FanotifyEvent>>>,
+    /// Listening Unix sockets, keyed by the socket inode they are bound to
+    /// and removed on unlink, last listener-fd close, or mount-namespace GC.
+    pub socket_nodes: Mutex<HashMap<(DevId, Ino), BoundSocket>>,
+    /// fanotify-style access recording (Docker Slim's mechanism), scoped
+    /// by mount namespace: when a namespace's recorder is armed,
+    /// successful opens/execs from processes *in that namespace* append
+    /// events to its slot — two concurrent `cntr-slim` analyses never
+    /// interleave each other's events.
+    pub fanotify: Mutex<HashMap<NamespaceId, Vec<FanotifyEvent>>>,
 }
 
 /// A handle to the simulated machine. Cloning is cheap; all clones share
@@ -161,6 +178,7 @@ impl Kernel {
             .expect("root cgroup exists");
         let mut hostnames = HashMap::new();
         hostnames.insert(ns_id, "host".to_string());
+        let init_ns = init.ns;
         Kernel {
             inner: Arc::new(KernelInner {
                 page_cache: PageCache::new(
@@ -173,11 +191,12 @@ impl Kernel {
                 cost: config.cost,
                 procs: ProcTable::new(config.proc_shards, init),
                 mounts: MountTable::new(root_ns),
+                ns_refs: NsRefs::new(&init_ns),
                 next_ns: AtomicU64::new(2),
                 cgroups: Mutex::new(cgroups),
                 hostnames: RwLock::new(hostnames),
                 socket_nodes: Mutex::new(HashMap::new()),
-                fanotify: Mutex::new(None),
+                fanotify: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -253,6 +272,9 @@ impl Kernel {
     /// Both shards (parent's and child's) are held together while the child
     /// is inserted, so a concurrent `/proc` snapshot sees either the
     /// pre-fork or post-fork world — never a child without its parent.
+    /// The child's namespace references are retained under the same shard
+    /// hold (the `NsRefs` leaf lock), so a concurrent `reap` can never see
+    /// the child in the table without its references counted.
     pub fn fork(&self, parent: Pid) -> SysResult<Pid> {
         self.charge_syscall();
         let child_pid = self.inner.procs.alloc_pid();
@@ -264,7 +286,9 @@ impl Kernel {
             }
             let child = parent_proc.fork_into(child_pid);
             let cgroup = child.cgroup.clone();
+            let child_ns = child.ns;
             pair.insert(child);
+            self.inner.ns_refs.retain_set(&child_ns);
             cgroup
         };
         // Processes-before-cgroups: the shard locks are released before the
@@ -273,17 +297,48 @@ impl Kernel {
         // release FUSE handles that re-enter the kernel) outside the shard
         // lock, as `exit`/`reap` do.
         if let Err(e) = self.inner.cgroups.lock().attach(child_pid, &cgroup) {
-            let removed = {
+            let (removed, dead) = {
                 let mut shard = self.inner.procs.lock_shard_of(child_pid);
-                shard.remove(&child_pid)
+                let removed = shard.remove(&child_pid);
+                // Release only if the rollback is the one removing the
+                // child, and release the set the child holds *now* — the
+                // pid is visible the moment the pair lock drops, so a
+                // concurrent exit+reap may already have released its
+                // references (removed == None), and a concurrent
+                // unshare/setns may have moved them off the fork-time
+                // snapshot.
+                let dead = match &removed {
+                    Some(p) => self.inner.ns_refs.release_set(&p.ns),
+                    None => Vec::new(),
+                };
+                (removed, dead)
             };
+            for d in dead {
+                self.gc_namespace(d);
+            }
             drop(removed);
             return Err(e);
+        }
+        // The attach can also race a concurrent exit+reap of the child
+        // (its pid is already visible): exit's cgroup detach may have run
+        // *before* the attach above, which would re-member a dead pid
+        // forever. Re-check: if the child is no longer Running, its exit
+        // has begun (or finished) and the detach below is either what exit
+        // would do or an idempotent repeat of it; if it is still Running,
+        // any later exit performs the detach itself.
+        let running = self
+            .inner
+            .procs
+            .with(child_pid, |p| Ok(p.state == ProcessState::Running))
+            .unwrap_or(false);
+        if !running {
+            self.inner.cgroups.lock().detach_everywhere(child_pid);
         }
         Ok(child_pid)
     }
 
-    /// Terminates a process, closing its descriptors.
+    /// Terminates a process, closing its descriptors. Its namespaces stay
+    /// referenced (and observable via `/proc`) until the zombie is reaped.
     pub fn exit(&self, pid: Pid) -> SysResult<()> {
         self.charge_syscall();
         // Dropping fd entries can release FUSE file handles, which re-enters
@@ -294,24 +349,137 @@ impl Kernel {
             Ok(std::mem::take(&mut p.fds))
         })?;
         self.inner.cgroups.lock().detach_everywhere(pid);
-        drop(fds);
+        for (_, entry) in fds {
+            self.release_fd_entry(entry);
+        }
         Ok(())
     }
 
-    /// Reaps a zombie, removing it from the table.
+    /// Reaps a zombie, removing it from the table and releasing its
+    /// namespace references — the last process of a container reaching
+    /// here tears the container's namespaces down (mount table, hostname,
+    /// bound sockets, fanotify recorder).
+    ///
+    /// Divergence from Linux: `waitpid(2)` on a still-running child
+    /// *blocks* (or returns 0 with `WNOHANG`); this simulation has no
+    /// blocking waits, so a running target reports `ECHILD` — "nothing
+    /// waitable" — rather than the old, wrong `EBUSY`.
     pub fn reap(&self, pid: Pid) -> SysResult<()> {
         // As in `exit`, the process (and anything it still references) must
-        // be dropped outside the shard lock.
-        let reaped = {
+        // be dropped outside the shard lock; likewise the backing state of
+        // any namespace that died with it.
+        let (reaped, dead) = {
             let mut shard = self.inner.procs.lock_shard_of(pid);
             match shard.get(&pid) {
-                Some(p) if p.state == ProcessState::Zombie => shard.remove(&pid),
-                Some(_) => return Err(Errno::EBUSY),
+                Some(p) if p.state == ProcessState::Zombie => {
+                    let ns = p.ns;
+                    let reaped = shard.remove(&pid);
+                    (reaped, self.inner.ns_refs.release_set(&ns))
+                }
+                Some(_) => return Err(Errno::ECHILD),
                 None => return Err(Errno::ESRCH),
             }
         };
+        for d in dead {
+            self.gc_namespace(d);
+        }
         drop(reaped);
         Ok(())
+    }
+
+    /// Releases one fd-table entry outside any shard lock.
+    ///
+    /// The close-time side effects themselves (pipe half-close, listener
+    /// shutdown) live in `OpenFile::drop`, which runs exactly once at the
+    /// true last drop — even when a transient clone (`splice`, `get_file`)
+    /// briefly outlives the final descriptor. This eager pass only
+    /// deregisters a listener from `socket_nodes` when the closing
+    /// descriptor *is* the last reference (`Arc::into_inner` is the
+    /// exactly-once gate); in the rare transient-clone race the entry
+    /// lingers already-closed — `connect` is refused via the listener's
+    /// closed flag — until unlink or namespace GC sweeps it.
+    pub(crate) fn release_fd_entry(&self, entry: crate::process::FdEntry) {
+        if let Some(file) = Arc::into_inner(entry.file) {
+            if let FileKind::Listener(l) = &file.kind {
+                self.unbind_listener(l);
+            }
+        }
+    }
+
+    /// Unbinds a listener wherever it is registered (last fd close). The
+    /// socket *file* stays on disk — as in Linux, where the inode outlives
+    /// the listening socket — but `connect(2)` on it now gets
+    /// `ECONNREFUSED`.
+    fn unbind_listener(&self, listener: &Arc<SocketListener>) {
+        self.unbind_sockets_where(|bound| Arc::ptr_eq(&bound.listener, listener));
+    }
+
+    /// Closes and deregisters every bound socket matching `pred` — the one
+    /// scan behind last-fd-close, unlink, and namespace-death unbinding.
+    pub(crate) fn unbind_sockets_where(&self, pred: impl Fn(&BoundSocket) -> bool) {
+        self.inner.socket_nodes.lock().retain(|_, bound| {
+            if pred(bound) {
+                bound.listener.close();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Reclaims the backing state of one dead namespace — the single GC
+    /// path shared by `reap`, reference moves (`unshare`/`setns` draining
+    /// a namespace) and the `unshare` failure path. Runs strictly outside
+    /// the process-shard and `NsRefs` locks; the mount table removed from
+    /// the registry (and the filesystem `Arc`s it pins) drops here,
+    /// outside any kernel lock.
+    fn gc_namespace(&self, dead: (NamespaceKind, NamespaceId)) {
+        let (kind, id) = dead;
+        match kind {
+            NamespaceKind::Mount => {
+                let removed = self.inner.mounts.remove(id);
+                // Listeners bound inside the dead namespace stop accepting.
+                self.unbind_sockets_where(|bound| bound.mnt_ns == id);
+                self.inner.fanotify.lock().remove(&id);
+                if let Some(table) = removed {
+                    // Filesystems mounted *only* in the dead namespace lose
+                    // their last mount: flush and drop their page-cache
+                    // state, or cached pages would squat in the LRU and a
+                    // dirty file's writeback reference would keep the
+                    // "freed" filesystem alive indefinitely. Shared devs
+                    // (the host root, bind sources, `/proc`) stay warm.
+                    //
+                    // Liveness is decided by scanning the surviving
+                    // namespaces — O(namespaces × mounts) of read locks,
+                    // paid only on namespace death (container exit), never
+                    // on a syscall path. A cross-namespace per-dev mount
+                    // refcount would make this O(1) but would have to be
+                    // threaded through every mount/umount/clone site; not
+                    // worth it until teardown shows up in a profile.
+                    let dead_devs: Vec<DevId> = table.read().iter().map(|m| m.fs.fs_id()).collect();
+                    let mut live_devs: HashSet<DevId> = HashSet::new();
+                    for other in self.inner.mounts.ids() {
+                        let _ = self.inner.mounts.with_read(other, |ns| {
+                            live_devs.extend(ns.iter().map(|m| m.fs.fs_id()));
+                            Ok(())
+                        });
+                    }
+                    let orphaned: Vec<DevId> = dead_devs
+                        .into_iter()
+                        .filter(|d| !live_devs.contains(d))
+                        .collect();
+                    let _ = self.inner.page_cache.drop_devs(&orphaned);
+                    drop(table);
+                }
+            }
+            NamespaceKind::Uts => {
+                self.inner.hostnames.write().remove(&id);
+            }
+            // Pid/user/net/ipc/cgroup namespaces carry no kernel-side
+            // backing state in this model; their refcount entry (already
+            // removed) was the bookkeeping.
+            _ => {}
+        }
     }
 
     /// True if the process exists and is running.
@@ -397,27 +565,39 @@ impl Kernel {
 
     /// Arms fanotify-style access recording (Docker Slim's mechanism:
     /// "records all files that have been accessed during a container run in
-    /// an efficient way using the fanotify kernel module", paper §5.3).
-    pub fn fanotify_start(&self) {
-        *self.inner.fanotify.lock() = Some(Vec::new());
+    /// an efficient way using the fanotify kernel module", paper §5.3)
+    /// **for `pid`'s mount namespace**: only accesses made by processes in
+    /// that namespace are recorded, so two concurrent analyses of
+    /// different containers never interleave each other's events. The
+    /// recorder is disarmed automatically if the namespace is
+    /// garbage-collected.
+    pub fn fanotify_start(&self, pid: Pid) -> SysResult<()> {
+        let mnt = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        self.inner.fanotify.lock().insert(mnt, Vec::new());
+        Ok(())
     }
 
-    /// Drains recorded events, keeping the recorder armed.
-    pub fn fanotify_drain(&self) -> Vec<FanotifyEvent> {
-        match self.inner.fanotify.lock().as_mut() {
+    /// Drains events recorded in `pid`'s mount namespace, keeping the
+    /// recorder armed.
+    pub fn fanotify_drain(&self, pid: Pid) -> SysResult<Vec<FanotifyEvent>> {
+        let mnt = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        Ok(match self.inner.fanotify.lock().get_mut(&mnt) {
             Some(events) => std::mem::take(events),
             None => Vec::new(),
-        }
+        })
     }
 
-    /// Disarms the recorder and returns the remaining events.
-    pub fn fanotify_stop(&self) -> Vec<FanotifyEvent> {
-        self.inner.fanotify.lock().take().unwrap_or_default()
+    /// Disarms `pid`'s mount namespace's recorder and returns the
+    /// remaining events.
+    pub fn fanotify_stop(&self, pid: Pid) -> SysResult<Vec<FanotifyEvent>> {
+        let mnt = self.with_proc(pid, |p| Ok(p.ns.mount))?;
+        Ok(self.inner.fanotify.lock().remove(&mnt).unwrap_or_default())
     }
 
-    /// Records one access if the recorder is armed.
-    pub(crate) fn fanotify_record(&self, dev: DevId, ino: Ino, path: &str) {
-        if let Some(events) = self.inner.fanotify.lock().as_mut() {
+    /// Records one access if the accessor's mount namespace has an armed
+    /// recorder.
+    pub(crate) fn fanotify_record(&self, mnt_ns: NamespaceId, dev: DevId, ino: Ino, path: &str) {
+        if let Some(events) = self.inner.fanotify.lock().get_mut(&mnt_ns) {
             events.push(FanotifyEvent {
                 dev,
                 ino,
@@ -453,7 +633,14 @@ impl Kernel {
     ///
     /// Lock order: the process shard is read (creds, current namespaces),
     /// released while the mount table / hostname copies are created, then
-    /// written once with the complete new namespace set.
+    /// written once with the complete new namespace set. The reference
+    /// *moves* — off the old namespaces, onto the fresh ones — commit
+    /// inside that same shard write (the `NsRefs` leaf lock), so a
+    /// concurrent `reap` always releases exactly the set it observes. An
+    /// old namespace drained by the move (the caller was its last
+    /// process) is garbage-collected; if the caller vanished before
+    /// adopting the fresh namespaces, *those* are zero-referenced and go
+    /// down the very same GC path — there is no separate rollback code.
     pub fn unshare(&self, pid: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
         self.charge_syscall();
         let (caps, old_ns) = self.with_proc(pid, |p| Ok((p.creds.caps, p.ns)))?;
@@ -467,8 +654,20 @@ impl Kernel {
                 let cloned = self
                     .inner
                     .mounts
-                    .with_read(old_ns.mount, |ns| Ok(ns.clone_for(new_id)))?;
-                self.inner.mounts.insert(cloned);
+                    .with_read(old_ns.mount, |ns| Ok(ns.clone_for(new_id)));
+                match cloned {
+                    Ok(cloned) => self.inner.mounts.insert(cloned),
+                    Err(e) => {
+                        // The source table vanished mid-call (a concurrent
+                        // reap GC'd the caller's old namespace): unwind the
+                        // zero-ref state created by earlier iterations
+                        // through the same GC path instead of leaking it.
+                        for &d in &fresh {
+                            self.gc_namespace(d);
+                        }
+                        return Err(e);
+                    }
+                }
             }
             if kind == NamespaceKind::Uts {
                 let mut hostnames = self.inner.hostnames.write();
@@ -479,40 +678,72 @@ impl Kernel {
         }
         // Only the unshared kinds are written back — a concurrent `setns`
         // on another kind is not clobbered by this syscall's earlier
-        // snapshot of the namespace set.
+        // snapshot of the namespace set. The overwritten id is read under
+        // the shard lock for the same reason: it may differ from the
+        // earlier snapshot.
         let res = self.with_proc_mut(pid, |p| {
+            let mut dead = Vec::new();
             for &(kind, id) in &fresh {
+                let old = p.ns.get(kind);
                 p.ns.set(kind, id);
-            }
-            Ok(())
-        });
-        if res.is_err() {
-            // The process vanished (concurrent reap) before adopting the
-            // new namespaces: deregister them rather than leaking tables
-            // no process can ever reference.
-            for &(kind, id) in &fresh {
-                match kind {
-                    NamespaceKind::Mount => self.inner.mounts.remove(id),
-                    NamespaceKind::Uts => {
-                        self.inner.hostnames.write().remove(&id);
-                    }
-                    _ => {}
+                if let Some(d) = self.inner.ns_refs.transfer(kind, old, id) {
+                    dead.push(d);
                 }
             }
+            Ok(dead)
+        });
+        match res {
+            Ok(dead) => {
+                for d in dead {
+                    self.gc_namespace(d);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The process vanished (concurrent reap) before adopting
+                // the fresh namespaces: they hold zero references, exactly
+                // like any other dead namespace — reclaim them through the
+                // unified GC path.
+                for &d in &fresh {
+                    self.gc_namespace(d);
+                }
+                Err(e)
+            }
         }
-        res
     }
 
     /// `setns(2)`: moves `pid` into `target`'s namespaces of the listed
-    /// kinds. Requires `CAP_SYS_ADMIN`. Joining a mount namespace resets
-    /// root and cwd to that namespace's root, as in Linux.
+    /// kinds. Requires `CAP_SYS_ADMIN`; the target must be running — as in
+    /// Linux, a zombie's namespaces are no longer joinable. Joining a
+    /// mount namespace resets root and cwd to that namespace's root, as in
+    /// Linux.
+    ///
+    /// Adoption is a reference *move*: `NsRefs::adopt_set` pins the
+    /// target namespaces (refusing with `ESRCH` if one died between the
+    /// target snapshot and the commit) and releases the caller's old ones;
+    /// any namespace the caller drains is garbage-collected.
     pub fn setns(&self, pid: Pid, target: Pid, kinds: &[NamespaceKind]) -> SysResult<()> {
         self.charge_syscall();
         let caps = self.with_proc(pid, |p| Ok(p.creds.caps))?;
         if !caps.has(Capability::SysAdmin) {
             return Err(Errno::EPERM);
         }
-        let target_ns = self.with_proc(target, |p| Ok(p.ns))?;
+        let target_ns = self.with_proc(target, |p| {
+            if p.state != ProcessState::Running {
+                return Err(Errno::ESRCH);
+            }
+            Ok(p.ns)
+        })?;
+        // Deduplicate the kinds: the reference moves below are one-per-kind
+        // (a repeated kind would double-retain the target namespace and
+        // double-release the caller's old one).
+        let mut uniq: Vec<NamespaceKind> = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            if !uniq.contains(&kind) {
+                uniq.push(kind);
+            }
+        }
+        let kinds = &uniq[..];
         // Gather the mount-namespace root before mutating the process, so
         // the final update is a single consistent shard write.
         let mut new_root: Option<VfsLoc> = None;
@@ -529,17 +760,64 @@ impl Kernel {
                 })?);
             }
         }
-        self.with_proc_mut(pid, |p| {
-            for &kind in kinds {
-                p.ns.set(kind, target_ns.get(kind));
+        let dead = self.with_proc_mut(pid, |p| {
+            let moves: Vec<(NamespaceKind, NamespaceId, NamespaceId)> = kinds
+                .iter()
+                .map(|&kind| (kind, p.ns.get(kind), target_ns.get(kind)))
+                .collect();
+            // All-or-nothing: the namespace set is only written once every
+            // target namespace is successfully pinned.
+            let dead = self.inner.ns_refs.adopt_set(&moves)?;
+            for &(kind, _, new) in &moves {
+                p.ns.set(kind, new);
             }
             if let Some(root) = new_root {
                 p.root = root;
                 p.cwd = root;
                 p.cwd_path = "/".to_string();
             }
-            Ok(())
-        })
+            Ok(dead)
+        })?;
+        for d in dead {
+            self.gc_namespace(d);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace observability (tests, `/proc`, leak checks)
+    // ------------------------------------------------------------------
+
+    /// Process refcount of one namespace (0 = dead or never existed).
+    pub fn ns_refcount(&self, kind: NamespaceKind, id: NamespaceId) -> u64 {
+        self.inner.ns_refs.count(kind, id)
+    }
+
+    /// Number of live `(kind, id)` refcount entries — exactly 7 on a
+    /// freshly booted (or fully torn-down) machine.
+    pub fn ns_ref_entries(&self) -> usize {
+        self.inner.ns_refs.len()
+    }
+
+    /// Ids of every registered mount namespace (sorted). A machine whose
+    /// containers have all been reaped holds only namespace 1.
+    pub fn mount_ns_ids(&self) -> Vec<NamespaceId> {
+        self.inner.mounts.ids()
+    }
+
+    /// Number of registered mount namespaces.
+    pub fn mount_ns_count(&self) -> usize {
+        self.inner.mounts.len()
+    }
+
+    /// Number of UTS hostname entries.
+    pub fn hostname_count(&self) -> usize {
+        self.inner.hostnames.read().len()
+    }
+
+    /// Number of bound Unix socket nodes.
+    pub fn socket_node_count(&self) -> usize {
+        self.inner.socket_nodes.lock().len()
     }
 
     /// `sethostname(2)` in the caller's UTS namespace.
@@ -578,6 +856,13 @@ impl Kernel {
             Ok(())
         });
         Ok(())
+    }
+
+    /// Removes an empty cgroup (`rmdir` in cgroupfs) — how an engine purges
+    /// a dead container from cgroup bookkeeping after its last process is
+    /// reaped. `EBUSY` while members or child groups remain.
+    pub fn cgroup_remove(&self, path: &CgroupPath) -> SysResult<()> {
+        self.inner.cgroups.lock().remove(path)
     }
 
     /// Sets cgroup limits.
@@ -778,9 +1063,12 @@ mod tests {
         assert_eq!(k.proc_info(child).unwrap().ppid, Pid::INIT);
         k.exit(child).unwrap();
         assert!(!k.is_alive(child));
-        assert_eq!(k.reap(Pid::INIT), Err(Errno::EBUSY));
+        // Reaping a running process: ECHILD ("nothing waitable"), the
+        // non-blocking stand-in for waitpid's blocking semantics.
+        assert_eq!(k.reap(Pid::INIT), Err(Errno::ECHILD));
         k.reap(child).unwrap();
         assert_eq!(k.proc_info(child).map(|_| ()), Err(Errno::ESRCH));
+        assert_eq!(k.reap(child), Err(Errno::ESRCH));
     }
 
     #[test]
@@ -800,6 +1088,186 @@ mod tests {
         k.sethostname(child, "container").unwrap();
         assert_eq!(k.gethostname(child).unwrap(), "container");
         assert_eq!(k.gethostname(Pid::INIT).unwrap(), "host");
+    }
+
+    #[test]
+    fn namespace_gc_on_reap() {
+        let k = kernel();
+        let baseline = (k.mount_ns_count(), k.hostname_count(), k.ns_ref_entries());
+        assert_eq!(baseline, (1, 1, 7));
+        let child = k.fork(Pid::INIT).unwrap();
+        k.unshare(child, &[NamespaceKind::Mount, NamespaceKind::Uts])
+            .unwrap();
+        let ns = k.proc_info(child).unwrap().ns;
+        assert_eq!(k.mount_ns_count(), 2);
+        assert_eq!(k.hostname_count(), 2);
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 1);
+        // Zombies keep their namespaces referenced until reaped.
+        k.exit(child).unwrap();
+        assert_eq!(k.mount_ns_count(), 2);
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 1);
+        // Reaping the last holder reclaims everything.
+        k.reap(child).unwrap();
+        assert_eq!(
+            (k.mount_ns_count(), k.hostname_count(), k.ns_ref_entries()),
+            baseline
+        );
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 0);
+        assert_eq!(k.mount_ns_ids(), vec![NamespaceId(1)]);
+    }
+
+    #[test]
+    fn unshare_again_gcs_abandoned_namespace() {
+        let k = kernel();
+        let child = k.fork(Pid::INIT).unwrap();
+        k.unshare(child, &[NamespaceKind::Mount]).unwrap();
+        let first = k.proc_info(child).unwrap().ns.mount;
+        assert_eq!(k.mount_ns_count(), 2);
+        // Unsharing again moves the child's only reference off `first`:
+        // the abandoned table is reclaimed, not leaked.
+        k.unshare(child, &[NamespaceKind::Mount]).unwrap();
+        assert_eq!(k.mount_ns_count(), 2);
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, first), 0);
+        k.exit(child).unwrap();
+        k.reap(child).unwrap();
+        assert_eq!(k.mount_ns_count(), 1);
+    }
+
+    #[test]
+    fn setns_moves_references_and_keeps_namespace_alive() {
+        let k = kernel();
+        let container = k.fork(Pid::INIT).unwrap();
+        k.unshare(container, &[NamespaceKind::Mount, NamespaceKind::Uts])
+            .unwrap();
+        let ns = k.proc_info(container).unwrap().ns;
+        let tool = k.fork(Pid::INIT).unwrap();
+        k.setns(tool, container, &[NamespaceKind::Mount, NamespaceKind::Uts])
+            .unwrap();
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 2);
+        // The container dies first — the attached tool keeps the
+        // namespaces (and the hostname) alive.
+        k.sethostname(container, "shared").unwrap();
+        k.exit(container).unwrap();
+        k.reap(container).unwrap();
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 1);
+        assert_eq!(k.gethostname(tool).unwrap(), "shared");
+        // The tool leaving is the last reference: full teardown.
+        k.exit(tool).unwrap();
+        k.reap(tool).unwrap();
+        assert_eq!(k.mount_ns_count(), 1);
+        assert_eq!(k.hostname_count(), 1);
+        assert_eq!(k.ns_ref_entries(), 7);
+    }
+
+    #[test]
+    fn setns_with_duplicate_kinds_counts_once() {
+        let k = kernel();
+        let container = k.fork(Pid::INIT).unwrap();
+        k.unshare(container, &[NamespaceKind::Mount]).unwrap();
+        let ns = k.proc_info(container).unwrap().ns;
+        let tool = k.fork(Pid::INIT).unwrap();
+        // A repeated kind must move exactly one reference.
+        k.setns(
+            tool,
+            container,
+            &[NamespaceKind::Mount, NamespaceKind::Mount],
+        )
+        .unwrap();
+        assert_eq!(k.ns_refcount(NamespaceKind::Mount, ns.mount), 2);
+        k.exit(tool).unwrap();
+        k.reap(tool).unwrap();
+        k.exit(container).unwrap();
+        k.reap(container).unwrap();
+        assert_eq!(k.mount_ns_count(), 1);
+        assert_eq!(k.ns_ref_entries(), 7);
+    }
+
+    #[test]
+    fn namespace_gc_releases_page_cache_of_private_mounts() {
+        use cntr_types::{Mode, OpenFlags};
+        let k = kernel();
+        let child = k.fork(Pid::INIT).unwrap();
+        k.unshare(child, &[NamespaceKind::Mount]).unwrap();
+        k.mkdir(child, "/priv", Mode::RWXR_XR_X).unwrap();
+        let sub = cntr_fs::memfs::memfs(DevId(77), k.clock().clone());
+        k.mount_fs(
+            child,
+            "/priv",
+            Arc::clone(&sub) as Arc<dyn cntr_fs::Filesystem>,
+            CacheMode::native(),
+            crate::mount::MountFlags::default(),
+        )
+        .unwrap();
+        // Dirty writeback data: the page cache now holds pages for the
+        // private filesystem and a flush reference pinning its `Arc`.
+        let fd = k
+            .open(child, "/priv/data", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
+        k.write_fd(child, fd, &[7u8; 8192]).unwrap();
+        k.close(child, fd).unwrap();
+        assert!(k.dirty_bytes() > 0);
+        // Reaping the namespace's last process must flush and drop that
+        // state: no cached page or writeback reference outlives the
+        // mount table.
+        k.exit(child).unwrap();
+        k.reap(child).unwrap();
+        assert_eq!(
+            Arc::strong_count(&sub),
+            1,
+            "GC'd namespace's filesystem must drop to one reference"
+        );
+    }
+
+    #[test]
+    fn setns_into_zombie_is_esrch() {
+        let k = kernel();
+        let container = k.fork(Pid::INIT).unwrap();
+        k.unshare(container, &[NamespaceKind::Mount]).unwrap();
+        k.exit(container).unwrap();
+        let tool = k.fork(Pid::INIT).unwrap();
+        // A zombie's namespaces are not joinable (Linux releases them at
+        // exit; this model keeps them observable but not adoptable).
+        assert_eq!(
+            k.setns(tool, container, &[NamespaceKind::Mount]),
+            Err(Errno::ESRCH)
+        );
+        k.reap(container).unwrap();
+        assert_eq!(k.mount_ns_count(), 1);
+    }
+
+    #[test]
+    fn fanotify_is_scoped_per_mount_namespace() {
+        use cntr_types::{Mode, OpenFlags};
+        let k = kernel();
+        let a = k.fork(Pid::INIT).unwrap();
+        let b = k.fork(Pid::INIT).unwrap();
+        k.unshare(a, &[NamespaceKind::Mount]).unwrap();
+        k.unshare(b, &[NamespaceKind::Mount]).unwrap();
+        // Two concurrent recorders, one per container namespace.
+        k.fanotify_start(a).unwrap();
+        k.fanotify_start(b).unwrap();
+        for (pid, path) in [(a, "/a.bin"), (b, "/b.bin")] {
+            let fd = k
+                .open(pid, path, OpenFlags::create(), Mode::RW_R__R__)
+                .unwrap();
+            k.close(pid, fd).unwrap();
+            let fd = k
+                .open(pid, path, OpenFlags::RDONLY, Mode::RW_R__R__)
+                .unwrap();
+            k.close(pid, fd).unwrap();
+        }
+        let ev_a = k.fanotify_stop(a).unwrap();
+        let ev_b = k.fanotify_stop(b).unwrap();
+        assert!(ev_a.iter().all(|e| e.path == "/a.bin"), "{ev_a:?}");
+        assert!(ev_b.iter().all(|e| e.path == "/b.bin"), "{ev_b:?}");
+        assert!(!ev_a.is_empty() && !ev_b.is_empty());
+        // A recorder armed in a namespace that dies is cleaned up with it.
+        k.fanotify_start(a).unwrap();
+        k.exit(a).unwrap();
+        k.reap(a).unwrap();
+        k.exit(b).unwrap();
+        k.reap(b).unwrap();
+        assert_eq!(k.inner.fanotify.lock().len(), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::mount::CacheMode;
 use cntr_fs::{Fh, Filesystem};
 use cntr_types::cost::PAGE_SIZE;
-use cntr_types::{CostModel, DevId, Ino, SimClock, SysResult};
+use cntr_types::{CostModel, DevId, Errno, Ino, SimClock, SysResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -625,11 +625,48 @@ impl PageCache {
     /// Drops one filesystem's pages only (e.g. just the FUSE mount's half of
     /// a double-buffered file, leaving the server's copy warm).
     pub fn drop_dev(&self, dev: DevId) -> SysResult<()> {
-        self.sync_all()?;
+        self.drop_devs(&[dev])
+    }
+
+    /// Drops the cached state of several filesystems in one pass (one
+    /// flush, one sweep). Namespace GC uses this when filesystems lose
+    /// their last mount: without the sweep, their pages would squat in the
+    /// LRU and a dirty file's writeback reference would pin the `Arc` of a
+    /// filesystem every mount table has already dropped. Only the victim
+    /// devices' dirty files are flushed — one container's teardown does
+    /// not pay for every other container's dirty data.
+    pub fn drop_devs(&self, devs: &[DevId]) -> SysResult<()> {
+        if devs.is_empty() {
+            return Ok(());
+        }
+        // Flush dirty data first, best-effort: if a filesystem rejects its
+        // writeback at teardown (EIO, ENOSPC), its remaining dirty pages
+        // are discarded — as on a forced unmount — because the sweep below
+        // must run regardless, or the failed device's pages and writeback
+        // reference would pin the filesystem forever. The first flush
+        // error is reported after the sweep.
+        let mut flush_err: Option<Errno> = None;
+        while flush_err.is_none() {
+            let victim = {
+                let st = self.state.lock();
+                st.files
+                    .iter()
+                    .filter(|(&(d, _), f)| f.dirty_pages > 0 && devs.contains(&d))
+                    .map(|(&k, _)| k)
+                    .next()
+            };
+            match victim {
+                Some((dev, ino)) => flush_err = self.flush_file(dev, ino).err(),
+                None => break,
+            }
+        }
         let mut st = self.state.lock();
-        st.pages.retain(|k, _| k.dev != dev);
-        st.files.retain(|&(d, _), _| d != dev);
-        Ok(())
+        st.pages.retain(|k, _| !devs.contains(&k.dev));
+        st.files.retain(|&(d, _), _| !devs.contains(&d));
+        match flush_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Evicts ~1/16 of capacity worth of clean LRU pages when over capacity.

@@ -72,6 +72,24 @@ pub struct OpenFile {
     pub offset: Mutex<u64>,
 }
 
+/// Close-time side effects run at the *true* last drop of the description
+/// — exactly once, no matter where that drop happens (explicit `close`,
+/// `exit` teardown, a fork rollback, or a transient clone taken by
+/// `splice`/`get_file` outliving the final descriptor). Pipe ends get
+/// their half-close semantics; a listener stops accepting, so `connect`
+/// on its socket file is refused even if its `socket_nodes` registration
+/// lingers briefly.
+impl Drop for OpenFile {
+    fn drop(&mut self) {
+        match &self.kind {
+            FileKind::PipeRead(p) => p.close_read(),
+            FileKind::PipeWrite(p) => p.close_write(),
+            FileKind::Listener(l) => l.close(),
+            _ => {}
+        }
+    }
+}
+
 /// One fd-table slot.
 pub struct FdEntry {
     /// The open file description.

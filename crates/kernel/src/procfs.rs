@@ -7,8 +7,14 @@
 //! per-pid directories with `status`, `environ`, `cmdline`, `cgroup`,
 //! `mounts` and `ns/<kind>` entries, generated live from kernel state.
 //!
-//! Inode layout: root = 1; `/proc/<pid>` = `pid * 1000`; files inside are
-//! `pid * 1000 + k`; `ns/` is `pid * 1000 + 100` with kind files following.
+//! Inode layout: root = 1; `/proc/namespaces` = 2; `/proc/<pid>` =
+//! `pid * 1000`; files inside are `pid * 1000 + k`; `ns/` is
+//! `pid * 1000 + 100` with kind files following.
+//!
+//! `/proc/namespaces` is this simulation's observability hook for
+//! namespace GC: one line per live `(kind, id)` pair with its process
+//! refcount, so tests and `cntr-slim` can watch namespaces appear on
+//! `unshare`, move on `setns`, and vanish when the last holder is reaped.
 
 use crate::kernel::KernelInner;
 use crate::ns::{NamespaceKind, ALL_KINDS};
@@ -21,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 const PID_STRIDE: u64 = 1000;
+const I_NAMESPACES: u64 = 2;
 const F_STATUS: u64 = 1;
 const F_ENVIRON: u64 = 2;
 const F_CMDLINE: u64 = 3;
@@ -53,6 +60,9 @@ impl ProcFs {
         let v = ino.raw();
         if v == 1 {
             return ProcNode::Root;
+        }
+        if v == I_NAMESPACES {
+            return ProcNode::NsTable;
         }
         let pid = Pid((v / PID_STRIDE) as u32);
         match v % PID_STRIDE {
@@ -97,6 +107,17 @@ impl ProcFs {
                 })
             })
             .map_err(|_| Errno::ENOENT)
+    }
+
+    /// `/proc/namespaces`: one `kind id refcount` line per live namespace,
+    /// sorted by id then kind — the GC observability surface.
+    fn namespaces_content(&self) -> SysResult<Vec<u8>> {
+        let kernel = self.kernel()?;
+        let mut out = String::new();
+        for (kind, id, count) in kernel.ns_refs.snapshot() {
+            out.push_str(&format!("{} {} {}\n", kind.proc_name(), id.0, count));
+        }
+        Ok(out.into_bytes())
     }
 
     fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
@@ -207,6 +228,10 @@ impl ProcFs {
     fn node_stat(&self, ino: Ino) -> SysResult<Stat> {
         match Self::classify(ino) {
             ProcNode::Root => Ok(self.dir_stat(ino, Uid::ROOT, Gid::ROOT)),
+            ProcNode::NsTable => {
+                let size = self.namespaces_content()?.len() as u64;
+                Ok(self.file_stat(ino, Uid::ROOT, Gid::ROOT, size))
+            }
             ProcNode::PidDir(pid) | ProcNode::NsDir(pid) => {
                 if !self.pid_exists(pid) {
                     return Err(Errno::ENOENT);
@@ -248,6 +273,8 @@ enum ProcFile {
 
 enum ProcNode {
     Root,
+    /// `/proc/namespaces` — live namespaces and their process refcounts.
+    NsTable,
     PidDir(Pid),
     NsDir(Pid),
     File(Pid, ProcFile),
@@ -278,6 +305,9 @@ impl Filesystem for ProcFs {
     fn lookup(&self, parent: Ino, name: &str) -> SysResult<Stat> {
         match Self::classify(parent) {
             ProcNode::Root => {
+                if name == "namespaces" {
+                    return self.node_stat(Ino(I_NAMESPACES));
+                }
                 let pid: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
                 if !self.pid_exists(Pid(pid)) {
                     return Err(Errno::ENOENT);
@@ -383,18 +413,17 @@ impl Filesystem for ProcFs {
     }
 
     fn read(&self, ino: Ino, _fh: Fh, offset: u64, buf: &mut [u8]) -> SysResult<usize> {
-        match Self::classify(ino) {
-            ProcNode::File(pid, f) => {
-                let content = self.content(pid, f)?;
-                if offset >= content.len() as u64 {
-                    return Ok(0);
-                }
-                let n = buf.len().min(content.len() - offset as usize);
-                buf[..n].copy_from_slice(&content[offset as usize..offset as usize + n]);
-                Ok(n)
-            }
-            _ => Err(Errno::EISDIR),
+        let content = match Self::classify(ino) {
+            ProcNode::File(pid, f) => self.content(pid, f)?,
+            ProcNode::NsTable => self.namespaces_content()?,
+            _ => return Err(Errno::EISDIR),
+        };
+        if offset >= content.len() as u64 {
+            return Ok(0);
         }
+        let n = buf.len().min(content.len() - offset as usize);
+        buf[..n].copy_from_slice(&content[offset as usize..offset as usize + n]);
+        Ok(n)
     }
 
     fn write(&self, _ino: Ino, _fh: Fh, _offset: u64, _data: &[u8]) -> SysResult<usize> {
@@ -409,16 +438,17 @@ impl Filesystem for ProcFs {
         match Self::classify(ino) {
             ProcNode::Root => {
                 let kernel = self.kernel()?;
-                Ok(kernel
-                    .procs
-                    .pids()
-                    .into_iter()
-                    .map(|p| Dirent {
-                        ino: Ino(p.raw() as u64 * PID_STRIDE),
-                        name: p.to_string(),
-                        ftype: FileType::Directory,
-                    })
-                    .collect())
+                let mut out = vec![Dirent {
+                    ino: Ino(I_NAMESPACES),
+                    name: "namespaces".to_string(),
+                    ftype: FileType::Regular,
+                }];
+                out.extend(kernel.procs.pids().into_iter().map(|p| Dirent {
+                    ino: Ino(p.raw() as u64 * PID_STRIDE),
+                    name: p.to_string(),
+                    ftype: FileType::Directory,
+                }));
+                Ok(out)
             }
             ProcNode::PidDir(pid) => {
                 if !self.pid_exists(pid) {
@@ -567,6 +597,48 @@ mod tests {
             k.stat(Pid::INIT, &format!("/proc/{child}/status")),
             Err(Errno::ENOENT)
         );
+    }
+
+    #[test]
+    fn proc_namespaces_tracks_refcounts_and_gc() {
+        use crate::ns::NamespaceKind;
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        let read = |k: &Kernel| {
+            let fd = k
+                .open(
+                    Pid::INIT,
+                    "/proc/namespaces",
+                    OpenFlags::RDONLY,
+                    Mode::RW_R__R__,
+                )
+                .unwrap();
+            let mut buf = vec![0u8; 4096];
+            let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+            k.close(Pid::INIT, fd).unwrap();
+            String::from_utf8_lossy(&buf[..n]).to_string()
+        };
+        // Boot: seven entries for namespace 1, one holder (init).
+        let text = read(&k);
+        assert_eq!(text.lines().count(), 7, "{text}");
+        assert!(text.contains("mnt 1 1"), "{text}");
+        // A forked container child bumps counts; unshare adds rows.
+        let child = k.fork(Pid::INIT).unwrap();
+        k.unshare(child, &[NamespaceKind::Mount]).unwrap();
+        let child_mnt = k.proc_info(child).unwrap().ns.mount;
+        let text = read(&k);
+        assert_eq!(text.lines().count(), 8, "{text}");
+        assert!(text.contains("pid 1 2"), "{text}");
+        assert!(text.contains(&format!("mnt {} 1", child_mnt.0)), "{text}");
+        // Reaping the child GCs its namespace: the row disappears.
+        k.exit(child).unwrap();
+        k.reap(child).unwrap();
+        let text = read(&k);
+        assert_eq!(text.lines().count(), 7, "{text}");
+        assert!(!text.contains(&format!("mnt {}", child_mnt.0)), "{text}");
     }
 
     #[test]

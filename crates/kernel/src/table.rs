@@ -12,6 +12,12 @@
 //!   outer `RwLock` registry. Path resolution (read-mostly) takes read
 //!   locks only, so `mount`/`umount` in one container no longer blocks
 //!   lookups in every other container.
+//! * `NsRefs` — per-namespace process reference counts, keyed by
+//!   `(kind, id)`. Namespace lifetime is driven by these counts (like
+//!   Linux's `nsproxy`): `fork` retains the child's whole set, `reap`
+//!   releases it, `unshare`/`setns` *move* single references. When a
+//!   count hits zero the namespace is dead and its backing state (mount
+//!   table, hostname, bound sockets, fanotify recorder) is reclaimed.
 //!
 //! Id allocators (`next_pid`, `next_ns`, `next_mount`) are atomics; the
 //! remaining small subsystems (cgroups, hostnames, bound sockets, fanotify)
@@ -19,7 +25,7 @@
 //!
 //! # Lock-ordering discipline
 //!
-//! Deadlock freedom rests on three rules, observed by every call site:
+//! Deadlock freedom rests on four rules, observed by every call site:
 //!
 //! 1. **At most one process shard is locked directly.** The only way to
 //!    hold two is `ProcTable::lock_pair`, which acquires them in
@@ -35,9 +41,33 @@
 //!    taken (the `Arc` keeps the namespace alive), and no thread ever
 //!    holds two inner mount locks simultaneously (propagation walks peers
 //!    sequentially).
+//! 4. **The `NsRefs` lock is a leaf.** It is the one exception to rule 2:
+//!    it *may* be acquired while a process shard is held — refcount
+//!    transitions must commit atomically with the `NamespaceSet` write
+//!    they describe, or a concurrent `reap` could release references that
+//!    were never retained — and nothing is ever acquired while holding
+//!    it. Reclamation of the backing state of a dead namespace (the
+//!    registry write, the `Arc` drops) happens strictly *after* both the
+//!    shard and the `NsRefs` lock are released.
+//!
+//! # Refcount rules
+//!
+//! * Every process in the table (running *or* zombie) holds exactly one
+//!   reference on each of the seven `(kind, id)` pairs of its
+//!   `NamespaceSet`. References are released at `reap`, not `exit` — a
+//!   zombie's namespaces stay observable through `/proc` until reaped.
+//! * `unshare` registers the fresh namespace's backing state *before*
+//!   attaching it; the reference moves old → new inside the process-shard
+//!   closure (`NsRefs::transfer`). If attaching fails (the process was
+//!   reaped concurrently) the fresh namespace has zero refs and is fed to
+//!   the same GC path as any dead namespace.
+//! * `setns` adoption pins the target namespaces with
+//!   `NsRefs::adopt_set`, which refuses (`ESRCH`) unless every target
+//!   count is still positive — a namespace observed at zero has been (or
+//!   is being) reclaimed and can never be resurrected.
 
 use crate::mount::{MountId, MountNs};
-use crate::ns::NamespaceId;
+use crate::ns::{NamespaceId, NamespaceKind, NamespaceSet, ALL_KINDS};
 use crate::process::Process;
 use cntr_types::{Errno, Pid, SysResult};
 use parking_lot::{Mutex, MutexGuard, RwLock};
@@ -203,10 +233,17 @@ impl MountTable {
             .insert(ns.id, Arc::new(RwLock::new(ns)));
     }
 
-    /// Deregisters a namespace (rollback of a failed `unshare`; the table
-    /// and its filesystem `Arc`s drop once the last snapshot dies).
-    pub fn remove(&self, id: NamespaceId) {
-        self.namespaces.write().remove(&id);
+    /// Deregisters a namespace, returning its table so the caller can drop
+    /// it — and the filesystem `Arc`s it pins — *outside* the registry
+    /// lock. Called by namespace GC when the last process reference dies.
+    #[must_use = "drop the returned table outside any kernel lock"]
+    pub fn remove(&self, id: NamespaceId) -> Option<Arc<RwLock<MountNs>>> {
+        self.namespaces.write().remove(&id)
+    }
+
+    /// Number of registered namespaces.
+    pub fn len(&self) -> usize {
+        self.namespaces.read().len()
     }
 
     fn handle(&self, id: NamespaceId) -> SysResult<Arc<RwLock<MountNs>>> {
@@ -253,6 +290,145 @@ impl MountTable {
     pub fn ids(&self) -> Vec<NamespaceId> {
         let mut v: Vec<NamespaceId> = self.namespaces.read().keys().copied().collect();
         v.sort_unstable();
+        v
+    }
+}
+
+/// Per-namespace process reference counts (the simulation's `nsproxy`).
+///
+/// One count per `(kind, id)` pair: namespace ids are unique across kinds
+/// *except* for the boot namespace, where id 1 names all seven initial
+/// namespaces — hence the kind in the key. A count reaching zero removes
+/// the entry; the caller receives the dead pair and reclaims its backing
+/// state outside this lock (rule 4 of the module discipline).
+pub(crate) struct NsRefs {
+    counts: Mutex<HashMap<(NamespaceKind, NamespaceId), u64>>,
+}
+
+impl NsRefs {
+    /// Creates the table holding one reference per kind for `init`'s set.
+    pub fn new(init: &NamespaceSet) -> NsRefs {
+        let refs = NsRefs {
+            counts: Mutex::new(HashMap::new()),
+        };
+        refs.retain_set(init);
+        refs
+    }
+
+    /// Takes one reference on every `(kind, id)` of `set` — what a process
+    /// acquires at `fork` (the parent's live references guarantee the
+    /// entries exist; boot creates them).
+    pub fn retain_set(&self, set: &NamespaceSet) {
+        let mut counts = self.counts.lock();
+        for kind in ALL_KINDS {
+            *counts.entry((kind, set.get(kind))).or_insert(0) += 1;
+        }
+    }
+
+    /// Drops one reference on every `(kind, id)` of `set` — what `reap`
+    /// releases. Returns the pairs whose count reached zero: those
+    /// namespaces are dead and must be garbage-collected by the caller.
+    pub fn release_set(&self, set: &NamespaceSet) -> Vec<(NamespaceKind, NamespaceId)> {
+        let mut counts = self.counts.lock();
+        let mut dead = Vec::new();
+        for kind in ALL_KINDS {
+            if Self::release_one(&mut counts, kind, set.get(kind)) {
+                dead.push((kind, set.get(kind)));
+            }
+        }
+        dead
+    }
+
+    /// Moves one reference from `old` to `new` for `kind` — the `unshare`
+    /// transition. `new` is a freshly allocated id, so its entry is
+    /// created here. Returns the dead pair if `old`'s count hit zero.
+    pub fn transfer(
+        &self,
+        kind: NamespaceKind,
+        old: NamespaceId,
+        new: NamespaceId,
+    ) -> Option<(NamespaceKind, NamespaceId)> {
+        if old == new {
+            return None;
+        }
+        let mut counts = self.counts.lock();
+        *counts.entry((kind, new)).or_insert(0) += 1;
+        Self::release_one(&mut counts, kind, old).then_some((kind, old))
+    }
+
+    /// Atomically adopts a set of existing namespaces — the `setns`
+    /// transition. Every `(kind, new)` must still be alive (count > 0):
+    /// a namespace at zero has been handed to GC and can never be
+    /// resurrected, so the whole adoption fails with `ESRCH`. On success
+    /// each reference moves old → new; returns the old pairs that died.
+    pub fn adopt_set(
+        &self,
+        moves: &[(NamespaceKind, NamespaceId, NamespaceId)],
+    ) -> SysResult<Vec<(NamespaceKind, NamespaceId)>> {
+        let mut counts = self.counts.lock();
+        for &(kind, old, new) in moves {
+            if old != new && counts.get(&(kind, new)).copied().unwrap_or(0) == 0 {
+                return Err(Errno::ESRCH);
+            }
+        }
+        let mut dead = Vec::new();
+        for &(kind, old, new) in moves {
+            if old == new {
+                continue;
+            }
+            *counts.entry((kind, new)).or_insert(0) += 1;
+            if Self::release_one(&mut counts, kind, old) {
+                dead.push((kind, old));
+            }
+        }
+        Ok(dead)
+    }
+
+    fn release_one(
+        counts: &mut HashMap<(NamespaceKind, NamespaceId), u64>,
+        kind: NamespaceKind,
+        id: NamespaceId,
+    ) -> bool {
+        match counts.get_mut(&(kind, id)) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                false
+            }
+            Some(_) => {
+                counts.remove(&(kind, id));
+                true
+            }
+            None => {
+                debug_assert!(false, "released a reference never retained: {kind} {id}");
+                false
+            }
+        }
+    }
+
+    /// Process count of one namespace (0 = dead / never existed).
+    pub fn count(&self, kind: NamespaceKind, id: NamespaceId) -> u64 {
+        self.counts
+            .lock()
+            .get(&(kind, id))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of live `(kind, id)` entries (7 on a freshly booted machine).
+    pub fn len(&self) -> usize {
+        self.counts.lock().len()
+    }
+
+    /// All live entries, sorted by id then kind order (for `/proc`).
+    pub fn snapshot(&self) -> Vec<(NamespaceKind, NamespaceId, u64)> {
+        let kind_pos = |k: NamespaceKind| ALL_KINDS.iter().position(|&x| x == k).unwrap_or(0);
+        let mut v: Vec<(NamespaceKind, NamespaceId, u64)> = self
+            .counts
+            .lock()
+            .iter()
+            .map(|(&(kind, id), &count)| (kind, id, count))
+            .collect();
+        v.sort_unstable_by_key(|&(kind, id, _)| (id, kind_pos(kind)));
         v
     }
 }
@@ -335,6 +511,94 @@ mod tests {
         assert!(pair.get(Pid(2)).is_some());
         drop(pair);
         assert_eq!(t.pids(), vec![Pid(1), Pid(2), Pid(5)]);
+    }
+
+    #[test]
+    fn ns_refs_retain_release_roundtrip() {
+        let init = NamespaceSet::uniform(NamespaceId(1));
+        let refs = NsRefs::new(&init);
+        assert_eq!(refs.len(), 7);
+        assert_eq!(refs.count(NamespaceKind::Mount, NamespaceId(1)), 1);
+        refs.retain_set(&init); // fork
+        assert_eq!(refs.count(NamespaceKind::Mount, NamespaceId(1)), 2);
+        assert!(refs.release_set(&init).is_empty(), "init still holds refs");
+        // Releasing the last holder reports every pair dead.
+        let dead = refs.release_set(&init);
+        assert_eq!(dead.len(), 7);
+        assert_eq!(refs.len(), 0);
+    }
+
+    #[test]
+    fn ns_refs_transfer_creates_new_and_kills_old() {
+        let init = NamespaceSet::uniform(NamespaceId(1));
+        let refs = NsRefs::new(&init);
+        // A second process unshares its mount namespace.
+        let mut child = init;
+        refs.retain_set(&child);
+        assert_eq!(
+            refs.transfer(NamespaceKind::Mount, child.mount, NamespaceId(2)),
+            None,
+            "init still references mount ns 1"
+        );
+        child.set(NamespaceKind::Mount, NamespaceId(2));
+        assert_eq!(refs.count(NamespaceKind::Mount, NamespaceId(2)), 1);
+        // Unsharing again abandons ns 2 — its sole reference moves away.
+        assert_eq!(
+            refs.transfer(NamespaceKind::Mount, NamespaceId(2), NamespaceId(3)),
+            Some((NamespaceKind::Mount, NamespaceId(2)))
+        );
+        assert_eq!(refs.count(NamespaceKind::Mount, NamespaceId(2)), 0);
+    }
+
+    #[test]
+    fn ns_refs_adopt_refuses_dead_namespace() {
+        let init = NamespaceSet::uniform(NamespaceId(1));
+        let refs = NsRefs::new(&init);
+        // Nothing ever lived in ns 9: adoption must fail atomically.
+        let moves = [
+            (NamespaceKind::Mount, NamespaceId(1), NamespaceId(9)),
+            (NamespaceKind::Uts, NamespaceId(1), NamespaceId(1)),
+        ];
+        assert_eq!(refs.adopt_set(&moves), Err(Errno::ESRCH));
+        // The failed adoption must not have touched any count.
+        assert_eq!(refs.count(NamespaceKind::Mount, NamespaceId(1)), 1);
+        assert_eq!(refs.len(), 7);
+        // Adopting a live namespace moves the reference.
+        refs.transfer(NamespaceKind::Mount, NamespaceId(1), NamespaceId(2));
+        // (init now in mount ns 2; a forked process in ns 2 adopts... back
+        // to a dead ns 1 must fail, self-moves are no-ops.)
+        assert_eq!(
+            refs.adopt_set(&[(NamespaceKind::Mount, NamespaceId(2), NamespaceId(1))]),
+            Err(Errno::ESRCH),
+            "mount ns 1 died when its last reference moved away"
+        );
+        assert_eq!(
+            refs.adopt_set(&[(NamespaceKind::Mount, NamespaceId(2), NamespaceId(2))]),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn mount_table_remove_returns_table_for_deferred_drop() {
+        use crate::mount::CacheMode;
+        use cntr_fs::memfs::memfs;
+        use cntr_types::{DevId, SimClock};
+        let root = MountNs::new(
+            NamespaceId(1),
+            MountId(1),
+            memfs(DevId(1), SimClock::new()),
+            CacheMode::native(),
+        );
+        let t = MountTable::new(root);
+        let clone = t
+            .with_read(NamespaceId(1), |ns| Ok(ns.clone_for(NamespaceId(2))))
+            .unwrap();
+        t.insert(clone);
+        assert_eq!(t.len(), 2);
+        let removed = t.remove(NamespaceId(2)).expect("registered above");
+        assert_eq!(t.len(), 1);
+        assert_eq!(removed.read().id, NamespaceId(2));
+        assert!(t.remove(NamespaceId(2)).is_none());
     }
 
     #[test]

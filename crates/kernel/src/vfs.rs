@@ -270,7 +270,7 @@ impl Kernel {
     /// `open(2)` / `openat(2)` with `O_CREAT` support.
     pub fn open(&self, pid: Pid, path: &str, flags: OpenFlags, mode: Mode) -> SysResult<u32> {
         self.charge_syscall();
-        let creds = self.creds(pid)?;
+        let (creds, mnt_ns) = self.with_proc(pid, |p| Ok((p.creds.clone(), p.ns.mount)))?;
         let follow = !flags.contains(OpenFlags::NOFOLLOW);
 
         let resolved = match self.resolve(pid, path, follow) {
@@ -344,7 +344,7 @@ impl Kernel {
             FileType::Symlink => return Err(Errno::ELOOP),
             FileType::Regular => {
                 let dev = resolved.fs.fs_id();
-                self.fanotify_record(dev, resolved.loc.ino, path);
+                self.fanotify_record(mnt_ns, dev, resolved.loc.ino, path);
                 // FOPEN_KEEP_CACHE off: invalidate this file's pages on open.
                 if !resolved.cache.keep_cache {
                     self.inner
@@ -393,20 +393,13 @@ impl Kernel {
         })
     }
 
-    /// `close(2)`.
+    /// `close(2)`. Pipe ends get their half-close semantics; the last
+    /// descriptor of a bound listener unbinds it (see
+    /// `Kernel::release_fd_entry`).
     pub fn close(&self, pid: Pid, fd: u32) -> SysResult<()> {
         self.charge_syscall();
         let entry = self.with_proc_mut(pid, |p| p.fds.remove(&fd).ok_or(Errno::EBADF))?;
-        // Pipe ends get their half-close semantics.
-        match &entry.file.kind {
-            FileKind::PipeRead(p) if Arc::strong_count(&entry.file) == 1 => {
-                p.close_read();
-            }
-            FileKind::PipeWrite(p) if Arc::strong_count(&entry.file) == 1 => {
-                p.close_write();
-            }
-            _ => {}
-        }
+        self.release_fd_entry(entry);
         Ok(())
     }
 
@@ -776,13 +769,18 @@ impl Kernel {
             return Err(Errno::EROFS);
         }
         check_access(&parent.stat, &creds, Access::W)?;
-        // Deregister a bound socket if one lived here.
+        // Deregister a bound socket if one lived here; connections already
+        // accepted stay open, new ones are refused.
         if let Ok(st) = parent.fs.lookup(parent.loc.ino, &name) {
             if st.ftype == FileType::Socket {
-                self.inner
+                if let Some(bound) = self
+                    .inner
                     .socket_nodes
                     .lock()
-                    .remove(&(parent.fs.fs_id(), st.ino));
+                    .remove(&(parent.fs.fs_id(), st.ino))
+                {
+                    bound.listener.close();
+                }
             }
         }
         parent.fs.unlink(parent.loc.ino, &name)
@@ -1510,10 +1508,12 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `bind(2)` + `listen(2)`: creates the socket inode and registers a
-    /// listener under it.
+    /// listener under it, tagged with the caller's mount namespace — if
+    /// that namespace dies (its last process is reaped) the listener is
+    /// unbound, so a dead container's socket cannot accept connections.
     pub fn bind_listener(&self, pid: Pid, path: &str) -> SysResult<u32> {
         self.charge_syscall();
-        let creds = self.creds(pid)?;
+        let (creds, mnt_ns) = self.with_proc(pid, |p| Ok((p.creds.clone(), p.ns.mount)))?;
         let (parent, name) = self.resolve_parent(pid, path)?;
         if parent.readonly {
             return Err(Errno::EROFS);
@@ -1527,10 +1527,13 @@ impl Kernel {
             &fs_context(&creds),
         )?;
         let listener = SocketListener::new(path);
-        self.inner
-            .socket_nodes
-            .lock()
-            .insert((parent.fs.fs_id(), st.ino), Arc::clone(&listener));
+        self.inner.socket_nodes.lock().insert(
+            (parent.fs.fs_id(), st.ino),
+            crate::kernel::BoundSocket {
+                mnt_ns,
+                listener: Arc::clone(&listener),
+            },
+        );
         self.with_proc_mut(pid, |p| {
             Ok(p.install_fd(FdEntry {
                 file: Arc::new(OpenFile {
@@ -1561,7 +1564,7 @@ impl Kernel {
             .socket_nodes
             .lock()
             .get(&(r.fs.fs_id(), r.loc.ino))
-            .cloned()
+            .map(|b| Arc::clone(&b.listener))
             .ok_or(Errno::ECONNREFUSED)?;
         let end: SocketEnd = listener.connect()?;
         self.with_proc_mut(pid, |p| {
@@ -1828,6 +1831,57 @@ mod tests {
         // Unlinking the socket file deregisters the listener.
         k.unlink(P, "/app.sock").unwrap();
         assert_eq!(k.connect(P, "/app.sock"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn listener_unbinds_on_last_close() {
+        let k = kernel();
+        let fd = k.bind_listener(P, "/srv.sock").unwrap();
+        let dup = k.dup(P, fd).unwrap();
+        // One descriptor closed: the dup still holds the listener open.
+        k.close(P, fd).unwrap();
+        let c = k.connect(P, "/srv.sock").unwrap();
+        k.close(P, c).unwrap();
+        // Last descriptor closed: unbound — the socket *file* remains (as
+        // in Linux) but connecting to it is refused.
+        k.close(P, dup).unwrap();
+        assert_eq!(k.stat(P, "/srv.sock").unwrap().ftype, FileType::Socket);
+        assert_eq!(k.connect(P, "/srv.sock"), Err(Errno::ECONNREFUSED));
+        assert_eq!(k.socket_node_count(), 0);
+    }
+
+    #[test]
+    fn listener_unbinds_when_holder_exits() {
+        let k = kernel();
+        let server = k.fork(P).unwrap();
+        let _fd = k.bind_listener(server, "/app.sock").unwrap();
+        assert!(k.connect(P, "/app.sock").is_ok());
+        // The server exits without closing: its fd table is torn down and
+        // the listener unbinds with it.
+        k.exit(server).unwrap();
+        k.reap(server).unwrap();
+        assert_eq!(k.connect(P, "/app.sock"), Err(Errno::ECONNREFUSED));
+        assert_eq!(k.socket_node_count(), 0);
+    }
+
+    #[test]
+    fn listener_dies_with_its_mount_namespace() {
+        let k = kernel();
+        let container = k.fork(P).unwrap();
+        k.unshare(container, &[crate::ns::NamespaceKind::Mount])
+            .unwrap();
+        let fd = k.bind_listener(container, "/db.sock").unwrap();
+        // Leak the fd into init's table (as a proxy might): even though a
+        // descriptor survives, the binding namespace's death unbinds the
+        // listener — a dead container must not keep accepting connections.
+        k.send_fd(container, fd, P).unwrap();
+        assert!(k.connect(container, "/db.sock").is_ok());
+        k.exit(container).unwrap();
+        k.reap(container).unwrap();
+        assert_eq!(k.socket_node_count(), 0);
+        // The namespace clone shared the root filesystem, so init still
+        // sees the socket file — but nobody is listening behind it.
+        assert_eq!(k.connect(P, "/db.sock"), Err(Errno::ECONNREFUSED));
     }
 
     #[test]

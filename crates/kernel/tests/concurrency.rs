@@ -12,7 +12,12 @@
 //!   has a live parent at snapshot time),
 //! * refcounts hold: an umounted filesystem drops back to a single `Arc`
 //!   reference, the process table returns to exactly the survivors, and
-//!   the root cgroup tracks the live pid set.
+//!   the root cgroup tracks the live pid set,
+//! * namespace GC holds: once every container is exited and reaped, the
+//!   mount-namespace registry, the hostname map, the socket-node map and
+//!   the per-namespace refcount table all return to the boot baseline —
+//!   no transition under 8-thread churn leaks or double-frees a
+//!   namespace.
 
 use cntr_fs::memfs::memfs;
 use cntr_kernel::kernel::KernelConfig;
@@ -72,6 +77,16 @@ fn stress_fork_exec_attach_umount_across_containers() {
     );
     kernel.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
     kernel.mount_procfs(Pid::INIT, "/proc").unwrap();
+
+    // The boot baseline the namespace GC must restore at the end.
+    let baseline = (
+        kernel.mount_ns_ids(),
+        kernel.hostname_count(),
+        kernel.socket_node_count(),
+        kernel.ns_ref_entries(),
+    );
+    assert_eq!(baseline.0.len(), 1);
+    assert_eq!((baseline.1, baseline.2, baseline.3), (1, 0, 7));
 
     let harness = Arc::new(Harness {
         kernel: kernel.clone(),
@@ -169,6 +184,18 @@ fn stress_fork_exec_attach_umount_across_containers() {
                         "umounted filesystem must drop to one reference"
                     );
 
+                    // Socket churn in the container's namespace: bind,
+                    // connect, close everything, unlink — the node must
+                    // fully unbind every round.
+                    let sock = format!("{dir}/round.sock");
+                    let lfd = kernel.bind_listener(cpid, &sock).expect("bind");
+                    let cfd = kernel.connect(cpid, &sock).expect("connect");
+                    let sfd = kernel.accept(cpid, lfd).expect("accept");
+                    kernel.close(cpid, cfd).expect("close client");
+                    kernel.close(cpid, sfd).expect("close server");
+                    kernel.close(cpid, lfd).expect("close listener");
+                    kernel.unlink(cpid, &sock).expect("unlink sock");
+
                     // Environment churn on the container (shard-local).
                     kernel
                         .setenv(cpid, "ROUND", &round.to_string())
@@ -211,4 +238,28 @@ fn stress_fork_exec_attach_umount_across_containers() {
     // Total forks: setup + 2 per container-round, all unique.
     let total = harness.all_pids.lock().unwrap().len();
     assert_eq!(total, CONTAINERS + CONTAINERS * ROUNDS * 2);
+
+    // While the containers live, their namespaces do: 64 mount namespaces
+    // + the root, 64 hostnames + the host's.
+    assert_eq!(kernel.mount_ns_ids().len(), 1 + CONTAINERS);
+    assert_eq!(kernel.hostname_count(), 1 + CONTAINERS);
+
+    // Namespace-GC invariant: exit + reap every container and the machine
+    // must return to the boot baseline — registry, hostnames, socket
+    // nodes and refcount entries all reclaimed, nothing double-freed.
+    for (pid, _) in &containers {
+        kernel.exit(*pid).expect("exit container");
+        kernel.reap(*pid).expect("reap container");
+    }
+    assert_eq!(kernel.pids(), vec![Pid::INIT]);
+    assert_eq!(
+        (
+            kernel.mount_ns_ids(),
+            kernel.hostname_count(),
+            kernel.socket_node_count(),
+            kernel.ns_ref_entries(),
+        ),
+        baseline,
+        "namespace GC must restore the boot baseline"
+    );
 }

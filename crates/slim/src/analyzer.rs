@@ -117,11 +117,14 @@ impl DockerSlim {
             }
             return Ok(accessed);
         }
-        k.fanotify_start();
+        // Recording is scoped to the container's mount namespace, so two
+        // concurrent slim analyses never see each other's events; this
+        // drain returns only this container's accesses.
+        k.fanotify_start(pid)?;
         profile_workload(k, pid, image);
-        let events = k.fanotify_stop();
-        // Filter to accesses made inside the container (paths are container
-        // paths because the recorder stores the accessor's view).
+        let events = k.fanotify_stop(pid)?;
+        // Paths are container paths because the recorder stores the
+        // accessor's view.
         Ok(events.into_iter().map(|e| e.path).collect())
     }
 

@@ -31,6 +31,8 @@ pub enum Errno {
     ENXIO = 6,
     /// Bad file descriptor.
     EBADF = 9,
+    /// No child processes (`waitpid` with nothing waitable).
+    ECHILD = 10,
     /// Try again (non-blocking operation would block).
     EAGAIN = 11,
     /// Out of memory.
@@ -139,6 +141,7 @@ impl Errno {
             Errno::EIO => "EIO",
             Errno::ENXIO => "ENXIO",
             Errno::EBADF => "EBADF",
+            Errno::ECHILD => "ECHILD",
             Errno::EAGAIN => "EAGAIN",
             Errno::ENOMEM => "ENOMEM",
             Errno::EACCES => "EACCES",
@@ -197,6 +200,7 @@ impl Errno {
             Errno::EIO => "Input/output error",
             Errno::ENXIO => "No such device or address",
             Errno::EBADF => "Bad file descriptor",
+            Errno::ECHILD => "No child processes",
             Errno::EAGAIN => "Resource temporarily unavailable",
             Errno::ENOMEM => "Cannot allocate memory",
             Errno::EACCES => "Permission denied",
@@ -260,6 +264,7 @@ pub const ALL: &[Errno] = &[
     Errno::EIO,
     Errno::ENXIO,
     Errno::EBADF,
+    Errno::ECHILD,
     Errno::EAGAIN,
     Errno::ENOMEM,
     Errno::EACCES,
