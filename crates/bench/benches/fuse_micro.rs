@@ -3,14 +3,21 @@
 //! These measure the *implementation* (real time per simulated operation),
 //! complementing the virtual-time figure regenerations.
 
+use bytes::Bytes;
 use cntr_fs::memfs::memfs;
 use cntr_fs::{Filesystem, FsContext};
-use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, InlineTransport};
+use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, InitFlags, InlineTransport};
+use cntr_kernel::pagecache::{FileRef, PageCache};
+use cntr_kernel::CacheMode;
 use cntr_types::{CostModel, DevId, FileType, Ino, Mode, OpenFlags, SimClock};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 fn mounted() -> Arc<FuseClientFs> {
+    mounted_with(FuseConfig::optimized())
+}
+
+fn mounted_with(config: FuseConfig) -> Arc<FuseClientFs> {
     let clock = SimClock::new();
     let backing = memfs(DevId(1), clock.clone());
     let transport = InlineTransport::new(FsHandler::new(backing));
@@ -18,7 +25,7 @@ fn mounted() -> Arc<FuseClientFs> {
         DevId(100),
         clock,
         CostModel::calibrated(),
-        FuseConfig::optimized(),
+        config,
         transport,
     )
     .expect("mount")
@@ -77,6 +84,88 @@ fn bench_write(c: &mut Criterion) {
     });
 }
 
+/// Large-read wall-clock: splice (the reply allocation is handed through
+/// by reference) vs copy (memcpy at the boundary). Two far-apart offsets
+/// alternate so every read misses the readahead window and crosses the
+/// transport.
+fn bench_read_1m_splice_vs_copy(c: &mut Criterion) {
+    let run = |label: &str, splice: bool, c: &mut Criterion| {
+        let mut flags = InitFlags::cntr_default();
+        flags.splice_read = splice;
+        let fs = mounted_with(FuseConfig::optimized().with_flags(flags));
+        let ctx = FsContext::root();
+        let st = fs
+            .mknod(Ino::ROOT, "r", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        fs.write(st.ino, fh, 0, &vec![7u8; 8 << 20]).unwrap();
+        let mut toggle = 0u64;
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                toggle ^= 4 << 20;
+                fs.read_bytes(st.ino, fh, toggle, 1 << 20).unwrap().len()
+            })
+        });
+    };
+    run("fuse_read_1m_splice", true, c);
+    run("fuse_read_1m_copy", false, c);
+}
+
+/// Large-write wall-clock: splice-write passes the caller's `Bytes`
+/// through (blob-style servers retain it); without it the payload is
+/// memcpy'd at the boundary.
+fn bench_write_1m_splice_vs_copy(c: &mut Criterion) {
+    let run = |label: &str, splice: bool, c: &mut Criterion| {
+        let mut flags = InitFlags::cntr_default();
+        flags.splice_write = splice;
+        let fs = mounted_with(FuseConfig::optimized().with_flags(flags));
+        let ctx = FsContext::root();
+        let st = fs
+            .mknod(Ino::ROOT, "w", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::WRONLY).unwrap();
+        let payload = Bytes::from(vec![3u8; 1 << 20]);
+        c.bench_function(label, |b| {
+            b.iter(|| fs.write_bytes(st.ino, fh, 0, payload.clone()).unwrap())
+        });
+    };
+    run("fuse_write_1m_splice", true, c);
+    run("fuse_write_1m_copy", false, c);
+}
+
+/// Write-back flush throughput over a FUSE mount: 256 contiguous dirty
+/// pages flushed as one coalesced (spliced) WRITE request vs 256 per-page
+/// requests — the round-trip amortization behind the Figure 2 FIO win.
+fn bench_flush_batched_vs_unbatched(c: &mut Criterion) {
+    let run = |label: &str, coalesce: bool, c: &mut Criterion| {
+        let fs = mounted();
+        let ctx = FsContext::root();
+        let st = fs
+            .mknod(Ino::ROOT, "wb", FileType::Regular, Mode::RW_R__R__, 0, &ctx)
+            .unwrap();
+        let fh = fs.open(st.ino, OpenFlags::RDWR).unwrap();
+        let file = Arc::new(FileRef {
+            fs: Arc::clone(&fs) as Arc<dyn Filesystem>,
+            ino: st.ino,
+            fh,
+        });
+        let cache = PageCache::new(SimClock::new(), CostModel::calibrated(), 256 << 20, 1 << 30)
+            .with_coalesce(coalesce);
+        let dev = DevId(2);
+        let data = vec![1u8; 256 * 4096];
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                cache
+                    .write(dev, CacheMode::native(), &file, 0, &data)
+                    .unwrap();
+                cache.flush_file(dev, file.ino).unwrap();
+            })
+        });
+    };
+    run("pagecache_flush_256p_batched", true, c);
+    run("pagecache_flush_256p_unbatched", false, c);
+}
+
 fn bench_getxattr_uncached(c: &mut Criterion) {
     let fs = mounted();
     let ctx = FsContext::root();
@@ -93,6 +182,9 @@ criterion_group!(
     bench_lookup,
     bench_read_cached,
     bench_write,
+    bench_read_1m_splice_vs_copy,
+    bench_write_1m_splice_vs_copy,
+    bench_flush_batched_vs_unbatched,
     bench_getxattr_uncached
 );
 criterion_main!(benches);

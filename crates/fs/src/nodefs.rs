@@ -11,6 +11,7 @@ use crate::store::FileStore;
 use crate::traits::{
     FallocateMode, Fh, Filesystem, FsContext, FsFeatures, XattrFlags, MAX_NAME_LEN,
 };
+use bytes::Bytes;
 use cntr_blockdev::BLOCK_SIZE;
 use cntr_types::{
     DevId, Dirent, Errno, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, SimClock,
@@ -349,6 +350,69 @@ impl<S: FileStore> NodeFs<S> {
                 node.meta.ctime = now;
                 st.used_bytes = st.used_bytes.saturating_sub(before).saturating_add(after);
                 Ok(())
+            }
+            NodeKind::Dir(_) => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Shared body of `write`/`write_bytes`: handle validation, O_APPEND
+    /// resolution, the ENOSPC pre-check, and the size/mtime/suid updates.
+    /// `store_write` performs the actual byte transfer (copying or
+    /// retaining) at the resolved offset.
+    fn write_with(
+        &self,
+        ino: Ino,
+        fh: Fh,
+        offset: u64,
+        len: usize,
+        store_write: impl FnOnce(&S, &mut S::Content, u64),
+    ) -> SysResult<usize> {
+        let mut st = self.state.lock();
+        let offset = {
+            let info = st.handles.get(&fh).ok_or(Errno::EBADF)?;
+            if info.ino != ino {
+                return Err(Errno::EBADF);
+            }
+            if !info.flags.mode.writable() {
+                return Err(Errno::EBADF);
+            }
+            if info.flags.contains(OpenFlags::APPEND) {
+                st.inodes.get(&ino).ok_or(Errno::ENOENT)?.meta.size
+            } else {
+                offset
+            }
+        };
+        let now = self.clock.now();
+        let used = st.used_bytes;
+        let node = st.inodes.get_mut(&ino).ok_or(Errno::ENOENT)?;
+        match &mut node.kind {
+            NodeKind::File(content) => {
+                let before = self.store.allocated_bytes(content);
+                // Conservative ENOSPC pre-check: a write can allocate at most
+                // len + one page of slack.
+                let upper = len as u64 + BLOCK_SIZE as u64;
+                if used + upper > self.capacity {
+                    let exact_after = {
+                        // Compute precisely only when near the limit.
+                        let end = offset + len as u64;
+                        let pages = end.div_ceil(BLOCK_SIZE as u64) - offset / BLOCK_SIZE as u64;
+                        before + pages * BLOCK_SIZE as u64
+                    };
+                    if used.saturating_sub(before) + exact_after > self.capacity {
+                        return Err(Errno::ENOSPC);
+                    }
+                }
+                store_write(&self.store, content, offset);
+                let after = self.store.allocated_bytes(content);
+                st.used_bytes = used.saturating_sub(before).saturating_add(after);
+                let node = st.inodes.get_mut(&ino).expect("checked");
+                node.meta.size = node.meta.size.max(offset + len as u64);
+                node.meta.mtime = now;
+                node.meta.ctime = now;
+                // Writes strip setuid/setgid (unprivileged-writer model).
+                node.meta.mode = node.meta.mode.clear_suid_sgid();
+                Ok(len)
             }
             NodeKind::Dir(_) => Err(Errno::EISDIR),
             _ => Err(Errno::EINVAL),
@@ -761,55 +825,54 @@ impl<S: FileStore> Filesystem for NodeFs<S> {
     }
 
     fn write(&self, ino: Ino, fh: Fh, offset: u64, data: &[u8]) -> SysResult<usize> {
+        self.write_with(ino, fh, offset, data.len(), |store, content, off| {
+            store.write(content, off, data);
+        })
+    }
+
+    fn read_bytes(&self, ino: Ino, fh: Fh, offset: u64, len: usize) -> SysResult<Bytes> {
         let mut st = self.state.lock();
-        let offset = {
+        {
             let info = st.handles.get(&fh).ok_or(Errno::EBADF)?;
-            if info.ino != ino {
+            if info.ino != ino || !info.flags.mode.readable() {
                 return Err(Errno::EBADF);
             }
-            if !info.flags.mode.writable() {
-                return Err(Errno::EBADF);
-            }
-            if info.flags.contains(OpenFlags::APPEND) {
-                st.inodes.get(&ino).ok_or(Errno::ENOENT)?.meta.size
-            } else {
-                offset
-            }
-        };
+        }
         let now = self.clock.now();
-        let used = st.used_bytes;
         let node = st.inodes.get_mut(&ino).ok_or(Errno::ENOENT)?;
-        match &mut node.kind {
+        let size = node.meta.size;
+        if offset >= size || len == 0 {
+            return Ok(Bytes::new());
+        }
+        let n = (len as u64).min(size - offset) as usize;
+        match &node.kind {
             NodeKind::File(content) => {
-                let before = self.store.allocated_bytes(content);
-                // Conservative ENOSPC pre-check: a write can allocate at most
-                // len + one page of slack.
-                let upper = data.len() as u64 + BLOCK_SIZE as u64;
-                if used + upper > self.capacity {
-                    let exact_after = {
-                        // Compute precisely only when near the limit.
-                        let end = offset + data.len() as u64;
-                        let pages = end.div_ceil(BLOCK_SIZE as u64) - offset / BLOCK_SIZE as u64;
-                        before + pages * BLOCK_SIZE as u64
-                    };
-                    if used.saturating_sub(before) + exact_after > self.capacity {
-                        return Err(Errno::ENOSPC);
+                // Zero-copy when the store can hand out a slice of what it
+                // already holds; otherwise a single gather into a fresh
+                // buffer (the same copy `read` pays).
+                let data = match self.store.read_bytes(content, offset, n) {
+                    Some(b) => {
+                        debug_assert!(!b.is_empty() && b.len() <= n);
+                        b
                     }
-                }
-                self.store.write(content, offset, data);
-                let after = self.store.allocated_bytes(content);
-                st.used_bytes = used.saturating_sub(before).saturating_add(after);
-                let node = st.inodes.get_mut(&ino).expect("checked");
-                node.meta.size = node.meta.size.max(offset + data.len() as u64);
-                node.meta.mtime = now;
-                node.meta.ctime = now;
-                // Writes strip setuid/setgid (unprivileged-writer model).
-                node.meta.mode = node.meta.mode.clear_suid_sgid();
-                Ok(data.len())
+                    None => {
+                        let mut buf = vec![0u8; n];
+                        self.store.read(content, offset, &mut buf);
+                        Bytes::from(buf)
+                    }
+                };
+                node.meta.atime = now;
+                Ok(data)
             }
             NodeKind::Dir(_) => Err(Errno::EISDIR),
             _ => Err(Errno::EINVAL),
         }
+    }
+
+    fn write_bytes(&self, ino: Ino, fh: Fh, offset: u64, data: Bytes) -> SysResult<usize> {
+        self.write_with(ino, fh, offset, data.len(), |store, content, off| {
+            store.write_bytes(content, off, &data);
+        })
     }
 
     fn fsync(&self, _ino: Ino, _fh: Fh, _datasync: bool) -> SysResult<()> {

@@ -5,6 +5,7 @@
 //! memory (tmpfs); [`DiskStore`] maps file pages to blocks of a simulated
 //! device (ext4-like), so reads and writes consume virtual disk time.
 
+use bytes::Bytes;
 use cntr_blockdev::{BlockDevice, BLOCK_SIZE};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -39,6 +40,24 @@ pub trait FileStore: Send + Sync + 'static {
 
     /// Waits for all written data to be durable.
     fn sync(&self);
+
+    /// Zero-copy read hook for the splice path: returns a prefix of the
+    /// range `[offset, offset+len)` as a slice of storage the store already
+    /// owns, or `None` when the store cannot avoid the copy (the caller
+    /// then falls back to [`FileStore::read`]). May return fewer than `len`
+    /// bytes (a chunk boundary); must never return an empty buffer.
+    fn read_bytes(&self, _content: &Self::Content, _offset: u64, _len: usize) -> Option<Bytes> {
+        None
+    }
+
+    /// Zero-copy write hook for the splice path: stores `data` at `offset`,
+    /// *retaining* (referencing) as much of the buffer as the store's
+    /// geometry allows instead of copying it. The default copies via
+    /// [`FileStore::write`] — correct for page/block stores, whose
+    /// destination is preallocated storage.
+    fn write_bytes(&self, content: &mut Self::Content, offset: u64, data: &Bytes) {
+        self.write(content, offset, data);
+    }
 }
 
 /// One 4 KiB page.

@@ -1,5 +1,6 @@
 //! The inode-level filesystem interface.
 
+use bytes::Bytes;
 use cntr_types::{
     DevId, Dirent, FileType, Gid, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat, Statfs,
     SysResult, Uid,
@@ -230,6 +231,65 @@ pub trait Filesystem: Send + Sync {
 
     /// Writes `data` at `offset`; returns bytes written.
     fn write(&self, ino: Ino, fh: Fh, offset: u64, data: &[u8]) -> SysResult<usize>;
+
+    /// Reads up to `len` bytes at `offset` as an owned [`Bytes`] buffer —
+    /// the splice data path.
+    ///
+    /// Filesystems whose storage already holds reference-counted buffers
+    /// override this to return a *slice of the stored bytes* (zero copy);
+    /// the default reads into a fresh allocation (one copy, exactly what
+    /// `read` costs).
+    ///
+    /// Like `read(2)` this may return **short**: fewer than `len` bytes
+    /// even before EOF (e.g. at an internal chunk boundary). An empty
+    /// buffer means EOF. Callers wanting exactly `len` bytes must loop.
+    fn read_bytes(&self, ino: Ino, fh: Fh, offset: u64, len: usize) -> SysResult<Bytes> {
+        let mut buf = vec![0u8; len];
+        let n = self.read(ino, fh, offset, &mut buf)?;
+        buf.truncate(n);
+        Ok(Bytes::from(buf))
+    }
+
+    /// Writes an owned [`Bytes`] buffer at `offset` — the splice data path.
+    ///
+    /// Filesystems whose storage can *retain* the buffer (reference it
+    /// instead of copying it) override this; the default delegates to
+    /// `write` (one copy). Unlike `read_bytes` this never writes short:
+    /// on success all of `data` is written.
+    fn write_bytes(&self, ino: Ino, fh: Fh, offset: u64, data: Bytes) -> SysResult<usize> {
+        self.write(ino, fh, offset, &data)
+    }
+
+    /// Reads until `len` bytes or EOF, preferring a single zero-copy
+    /// answer: when one [`Filesystem::read_bytes`] call satisfies the read
+    /// (full, or short because of EOF), its buffer is returned unchanged;
+    /// only a short read at an internal chunk boundary pays a gather into
+    /// one owned buffer. Not meant to be overridden — it exists so the
+    /// FUSE server's reply assembly and the page cache's fill path share
+    /// one copy of this boundary logic.
+    fn read_bytes_gather(&self, ino: Ino, fh: Fh, offset: u64, len: usize) -> SysResult<Bytes> {
+        let first = self.read_bytes(ino, fh, offset, len)?;
+        if first.len() == len || first.is_empty() {
+            return Ok(first);
+        }
+        // Short: probe whether it was EOF (forward the prefix as-is, still
+        // zero-copy) or a chunk boundary (gather the rest).
+        let next = self.read_bytes(ino, fh, offset + first.len() as u64, len - first.len())?;
+        if next.is_empty() {
+            return Ok(first);
+        }
+        let mut buf = Vec::with_capacity(len);
+        buf.extend_from_slice(&first);
+        buf.extend_from_slice(&next);
+        while buf.len() < len {
+            let chunk = self.read_bytes(ino, fh, offset + buf.len() as u64, len - buf.len())?;
+            if chunk.is_empty() {
+                break;
+            }
+            buf.extend_from_slice(&chunk);
+        }
+        Ok(Bytes::from(buf))
+    }
 
     /// Flushes file data (and metadata unless `datasync`) to stable storage.
     fn fsync(&self, ino: Ino, fh: Fh, datasync: bool) -> SysResult<()>;

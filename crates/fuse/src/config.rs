@@ -23,8 +23,9 @@ pub struct FuseConfig {
 }
 
 impl FuseConfig {
-    /// CNTR's shipping configuration: every optimization on except
-    /// splice-write, 4 worker threads.
+    /// The shipping configuration: every optimization on (splice-write
+    /// included, now that batched write-back makes it profitable), 4 worker
+    /// threads.
     pub const fn optimized() -> FuseConfig {
         FuseConfig {
             flags: InitFlags::cntr_default(),
@@ -34,6 +35,17 @@ impl FuseConfig {
             attr_cache_cap: 65_536,
             forget_batch: 64,
             meta_pipeline: 4,
+        }
+    }
+
+    /// The configuration the paper published (§3.3): identical to
+    /// [`FuseConfig::optimized`] except splice-write stays off. The
+    /// Phoronix figure reproductions pin this profile so the calibrated
+    /// Figure 2–4 bands keep matching the paper.
+    pub const fn paper() -> FuseConfig {
+        FuseConfig {
+            flags: InitFlags::paper_legacy(),
+            ..FuseConfig::optimized()
         }
     }
 
@@ -80,11 +92,17 @@ mod tests {
     fn presets() {
         let o = FuseConfig::optimized();
         assert!(o.flags.writeback_cache);
-        assert!(!o.flags.splice_write);
+        assert!(o.flags.splice_write, "shipping default splices writes");
         assert_eq!(o.workers, 4);
         let u = FuseConfig::unoptimized();
         assert!(!u.flags.writeback_cache);
         assert_eq!(u.workers, 1);
+        let p = FuseConfig::paper();
+        assert!(
+            !p.flags.splice_write,
+            "paper profile keeps splice-write off"
+        );
+        assert_eq!(p.workers, o.workers);
     }
 
     #[test]

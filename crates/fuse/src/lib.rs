@@ -19,16 +19,22 @@
 //!   paper's Figure 2/3/4 shapes reproducible,
 //! * [`server`] — the userspace half: a handler trait plus [`FsHandler`],
 //!   which serves any `Filesystem` over FUSE (CNTR's own passthrough
-//!   handler lives in `cntr-core`).
+//!   handler lives in `cntr-core`),
+//! * [`testing`] — payload-pointer instrumentation ([`CountingTransport`],
+//!   [`InstrumentedFs`]) proving the splice path really moves buffers by
+//!   reference: zero memcpys from storage to caller when splice is
+//!   negotiated.
 
 pub mod client;
 pub mod config;
 pub mod conn;
 pub mod proto;
 pub mod server;
+pub mod testing;
 
 pub use client::FuseClientFs;
 pub use config::FuseConfig;
 pub use conn::{ConnStats, InlineTransport, ThreadedTransport, Transport};
 pub use proto::{InitFlags, Opcode, Reply, Request};
 pub use server::{FsHandler, FuseHandler};
+pub use testing::{copies_along, CountingTransport, InstrumentedFs, PayloadLog};

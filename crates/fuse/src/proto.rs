@@ -93,16 +93,44 @@ pub struct InitFlags {
     pub async_read: bool,
     /// `FUSE_SPLICE_READ` (+`MOVE`): zero-copy read replies.
     pub splice_read: bool,
-    /// Splice writes (CNTR implements but disables them: every request pays
-    /// an extra context switch to peek the header — §3.3 "Splicing").
+    /// Splice writes. The paper's CNTR shipped with these *disabled*: every
+    /// spliced request paid an extra context switch to peek the header
+    /// (§3.3 "Splicing"), and writes were small enough that the copy was
+    /// cheaper than the peek. With batched write-back, WRITE requests are
+    /// few and large, so the peek amortizes and the payload moves by page
+    /// remap — the shipping default is now **on** (see
+    /// [`InitFlags::cntr_default`]); [`InitFlags::paper_legacy`] keeps the
+    /// paper's original profile selectable.
     pub splice_write: bool,
     /// `FUSE_BATCH_FORGET` support.
     pub batch_forget: bool,
 }
 
 impl InitFlags {
-    /// Everything on except splice-write, matching CNTR's shipping defaults.
+    /// The shipping defaults: everything on, **including splice-write**.
+    ///
+    /// The paper disabled splice-write because the per-request header peek
+    /// cost a context switch while writes were page-sized; now that
+    /// write-back batching coalesces dirty runs into few large WRITE
+    /// requests and the payload crosses the boundary as a retained
+    /// [`bytes::Bytes`] (no copy), the peek amortizes away and splice-write
+    /// wins. The paper's original profile is [`InitFlags::paper_legacy`].
     pub const fn cntr_default() -> InitFlags {
+        InitFlags {
+            writeback_cache: true,
+            keep_cache: true,
+            parallel_dirops: true,
+            async_read: true,
+            splice_read: true,
+            splice_write: true,
+            batch_forget: true,
+        }
+    }
+
+    /// CNTR's shipping defaults *as published* (§3.3): everything on except
+    /// splice-write. The paper-figure reproductions (`cntr-phoronix`) pin
+    /// this profile so Figures 2–4 keep the published calibration.
+    pub const fn paper_legacy() -> InitFlags {
         InitFlags {
             writeback_cache: true,
             keep_cache: true,
@@ -567,7 +595,20 @@ mod tests {
         assert_eq!(got, InitFlags::none());
         let got = InitFlags::cntr_default().intersect(InitFlags::all());
         assert_eq!(got, InitFlags::cntr_default());
-        assert!(!InitFlags::cntr_default().splice_write, "off by default");
+        assert!(
+            InitFlags::cntr_default().splice_write,
+            "splice-write ships on now that batched write-back makes it a win"
+        );
+    }
+
+    #[test]
+    fn paper_legacy_profile_matches_published_defaults() {
+        let legacy = InitFlags::paper_legacy();
+        assert!(!legacy.splice_write, "the paper shipped splice-write off");
+        // Identical to the shipping default in every other flag.
+        let mut modern = InitFlags::cntr_default();
+        modern.splice_write = false;
+        assert_eq!(legacy, modern);
     }
 
     #[test]

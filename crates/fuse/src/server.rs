@@ -88,6 +88,22 @@ impl FsHandler {
             }
         }
     }
+
+    /// Builds a READ reply. The common case — the filesystem answers the
+    /// whole request in one `read_bytes` call — forwards that buffer as the
+    /// reply with no copy; a filesystem that returns short (a chunk
+    /// boundary) gets its pieces gathered into one reply buffer, the same
+    /// single copy a real FUSE server pays assembling its reply from
+    /// backing-store reads.
+    fn read_reply(
+        &self,
+        ino: Ino,
+        fh: cntr_fs::Fh,
+        offset: u64,
+        size: usize,
+    ) -> cntr_types::SysResult<bytes::Bytes> {
+        self.fs.read_bytes_gather(ino, fh, offset, size)
+    }
 }
 
 impl FuseHandler for FsHandler {
@@ -182,24 +198,21 @@ impl FuseHandler for FsHandler {
                 fh,
                 offset,
                 size,
-            } => {
-                let mut buf = vec![0u8; size as usize];
-                match self.fs.read(ino, cntr_fs::Fh(fh), offset, &mut buf) {
-                    Ok(n) => {
-                        buf.truncate(n);
-                        Reply::Data(buf.into())
-                    }
-                    Err(e) => Reply::Err(e),
-                }
-            }
+            } => match self.read_reply(ino, cntr_fs::Fh(fh), offset, size as usize) {
+                Ok(data) => Reply::Data(data),
+                Err(e) => Reply::Err(e),
+            },
             Request::Write {
                 ino,
                 fh,
                 offset,
                 data,
-            } => reply(self.fs.write(ino, cntr_fs::Fh(fh), offset, &data), |n| {
-                Reply::Written(n as u32)
-            }),
+            } => reply(
+                // The payload Bytes moves into the filesystem by reference:
+                // blob-backed stores retain slices of it (zero copy).
+                self.fs.write_bytes(ino, cntr_fs::Fh(fh), offset, data),
+                |n| Reply::Written(n as u32),
+            ),
             Request::Statfs => reply(self.fs.statfs(), Reply::Statfs),
             Request::Release { ino, fh } => {
                 reply(self.fs.release(ino, cntr_fs::Fh(fh)), |()| Reply::Ok)

@@ -33,6 +33,10 @@ pub struct KernelConfig {
     pub page_cache_bytes: u64,
     /// Dirty-page threshold that triggers background writeback.
     pub dirty_limit_bytes: u64,
+    /// Whether write-back coalesces contiguous dirty runs into single
+    /// large writes (on by default; the differential I/O tests and the
+    /// flush benches run both settings).
+    pub coalesce_writeback: bool,
     /// Process-table shards (rounded up to a power of two). More shards
     /// let syscalls against unrelated pids run concurrently; `1` recreates
     /// the old giant-lock behaviour for comparison benchmarks.
@@ -45,6 +49,7 @@ impl Default for KernelConfig {
             cost: CostModel::calibrated(),
             page_cache_bytes: 12 << 30,
             dirty_limit_bytes: 64 << 20,
+            coalesce_writeback: true,
             proc_shards: DEFAULT_PROC_SHARDS,
         }
     }
@@ -186,7 +191,8 @@ impl Kernel {
                     config.cost,
                     config.page_cache_bytes,
                     config.dirty_limit_bytes,
-                ),
+                )
+                .with_coalesce(config.coalesce_writeback),
                 clock,
                 cost: config.cost,
                 procs: ProcTable::new(config.proc_shards, init),

@@ -46,7 +46,7 @@ pub mod vfs;
 
 pub use cgroup::CgroupPath;
 pub use cred::Credentials;
-pub use kernel::{FanotifyEvent, Kernel, ProcInfo};
+pub use kernel::{FanotifyEvent, Kernel, KernelConfig, ProcInfo};
 pub use mount::{CacheMode, MountFlags, MountId, Propagation};
 pub use ns::{NamespaceId, NamespaceKind, NamespaceSet};
 pub use pagecache::PageCacheStats;

@@ -11,6 +11,7 @@
 //! each consume page-cache capacity for the same bytes.
 
 use crate::mount::CacheMode;
+use bytes::Bytes;
 use cntr_fs::{Fh, Filesystem};
 use cntr_types::cost::PAGE_SIZE;
 use cntr_types::{CostModel, DevId, Errno, Ino, SimClock, SysResult};
@@ -47,10 +48,57 @@ struct PageKey {
     page: u64,
 }
 
+/// The bytes of one cached page.
+enum PageData {
+    /// A private, writable page the cache owns.
+    Owned(Box<[u8; PAGE_SIZE]>),
+    /// A page *spliced in* from below: a reference-counted slice of the
+    /// buffer the filesystem (ultimately the FUSE server's storage) handed
+    /// over — no copy was made to cache it. May be shorter than a page
+    /// (EOF); the tail reads as zeroes. Promoted to [`PageData::Owned`]
+    /// (copy-on-write) the first time it is written.
+    Shared(Bytes),
+    /// Benchmark-mode page: costs time but no memory, reads as zeroes.
+    Synthetic,
+}
+
+impl PageData {
+    /// Copies `[in_page, in_page+n)` of the page into `buf` (zeroes beyond
+    /// the stored length).
+    fn read_into(&self, in_page: usize, buf: &mut [u8]) {
+        match self {
+            PageData::Owned(p) => buf.copy_from_slice(&p[in_page..in_page + buf.len()]),
+            PageData::Shared(b) => {
+                let have = b.len().saturating_sub(in_page).min(buf.len());
+                if have > 0 {
+                    buf[..have].copy_from_slice(&b[in_page..in_page + have]);
+                }
+                buf[have..].fill(0);
+            }
+            PageData::Synthetic => buf.fill(0),
+        }
+    }
+
+    /// A mutable view for writing; `None` for synthetic pages. A shared
+    /// page is promoted to an owned copy first (copy-on-write — the one
+    /// place a spliced-in page is ever copied).
+    fn make_mut(&mut self) -> Option<&mut [u8; PAGE_SIZE]> {
+        if let PageData::Shared(b) = self {
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            let n = b.len().min(PAGE_SIZE);
+            page[..n].copy_from_slice(&b[..n]);
+            *self = PageData::Owned(page);
+        }
+        match self {
+            PageData::Owned(p) => Some(p),
+            PageData::Synthetic => None,
+            PageData::Shared(_) => unreachable!("promoted above"),
+        }
+    }
+}
+
 struct PageEntry {
-    /// Page bytes; `None` for synthetic (benchmark-mode) pages, which read
-    /// as zeroes.
-    data: Option<Box<[u8; PAGE_SIZE]>>,
+    data: PageData,
     dirty: bool,
     version: u64,
     last_access: u64,
@@ -126,6 +174,11 @@ pub struct PageCache {
     clock: SimClock,
     capacity_pages: usize,
     dirty_limit_pages: usize,
+    /// Whether write-back coalesces contiguous dirty runs into single large
+    /// writes (the shipping behaviour). Off = one write per page — the
+    /// unbatched baseline the differential tests and benches compare
+    /// against.
+    coalesce: bool,
     state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -136,7 +189,8 @@ pub struct PageCache {
 }
 
 impl PageCache {
-    /// Creates a cache with the given capacity and dirty threshold (bytes).
+    /// Creates a cache with the given capacity and dirty threshold (bytes),
+    /// with write-back coalescing on.
     pub fn new(
         clock: SimClock,
         cost: CostModel,
@@ -148,6 +202,7 @@ impl PageCache {
             clock,
             capacity_pages: (capacity_bytes / PAGE_SIZE as u64).max(16) as usize,
             dirty_limit_pages: (dirty_limit_bytes / PAGE_SIZE as u64).max(4) as usize,
+            coalesce: true,
             state: Mutex::new(CacheState {
                 pages: HashMap::new(),
                 files: HashMap::new(),
@@ -161,6 +216,15 @@ impl PageCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
+    }
+
+    /// Disables (or re-enables) write-back coalescing. With it off, every
+    /// dirty page flushes as its own write — the per-page baseline that
+    /// shows what batching buys.
+    #[must_use]
+    pub fn with_coalesce(mut self, coalesce: bool) -> PageCache {
+        self.coalesce = coalesce;
+        self
     }
 
     /// Counter snapshot.
@@ -252,10 +316,7 @@ impl PageCache {
                 let tick = st.tick;
                 if let Some(entry) = st.pages.get_mut(&key) {
                     entry.last_access = tick;
-                    match &entry.data {
-                        Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
-                        None => buf[done..done + n].fill(0),
-                    }
+                    entry.data.read_into(in_page, &mut buf[done..done + n]);
                     true
                 } else {
                     false
@@ -270,15 +331,7 @@ impl PageCache {
                 // Fill the whole page from the filesystem (outside the lock:
                 // a FUSE fill re-enters the kernel through the server).
                 let page_off = page_no * PAGE_SIZE as u64;
-                let mut data = if mode.synthetic {
-                    None
-                } else {
-                    Some(Box::new([0u8; PAGE_SIZE]))
-                };
-                if let Some(p) = data.as_deref_mut() {
-                    let got = file.fs.read(ino, file.fh, page_off, &mut p[..])?;
-                    p[got..].fill(0);
-                } else {
+                let data = if mode.synthetic {
                     // Synthetic mode: the fill must still be a real
                     // page-sized read so every layer below (FUSE round trips,
                     // readahead, disk) charges its true cost — only the bytes
@@ -286,29 +339,53 @@ impl PageCache {
                     // function through the FUSE server.
                     let mut sink = [0u8; PAGE_SIZE];
                     file.fs.read(ino, file.fh, page_off, &mut sink)?;
-                }
-                match &data {
-                    Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
-                    None => buf[done..done + n].fill(0),
-                }
+                    PageData::Synthetic
+                } else {
+                    // The splice fill: the buffer the filesystem returns is
+                    // cached *by reference* — for a spliced FUSE read this is
+                    // the server's own allocation, mapped into the page cache
+                    // without a copy (a short buffer is an EOF page; its tail
+                    // reads as zeroes).
+                    self.fill_page(file, ino, page_off)?
+                };
+                data.read_into(in_page, &mut buf[done..done + n]);
                 let mut st = self.state.lock();
                 st.tick += 1;
                 let tick = st.tick;
-                st.pages.insert(
-                    key,
-                    PageEntry {
+                // The fill ran outside the lock; another thread may have
+                // populated (and even dirtied) the page meanwhile. Theirs
+                // wins — replacing a dirty entry with our clean fill would
+                // lose the write and strand the dirty accounting.
+                st.pages
+                    .entry(key)
+                    .and_modify(|e| e.last_access = tick)
+                    .or_insert_with(|| PageEntry {
                         data,
                         dirty: false,
                         version: 0,
                         last_access: tick,
-                    },
-                );
+                    });
                 drop(st);
                 self.maybe_evict();
             }
             done += n;
         }
         Ok(done)
+    }
+
+    /// Reads one page of data at `page_off`, preferring the zero-copy
+    /// `read_bytes` path: a filesystem that answers the whole page (or an
+    /// EOF prefix of it) in one buffer has that buffer cached by reference
+    /// ([`PageData::Shared`] — the FUSE splice "page remap").
+    fn fill_page(&self, file: &Arc<FileRef>, ino: Ino, page_off: u64) -> SysResult<PageData> {
+        // `read_bytes_gather` forwards a single full-or-EOF answer
+        // untouched (the zero-copy case) and only gathers across chunk
+        // boundaries; either way the buffer is cached by reference, and a
+        // short buffer is an EOF page whose tail reads as zeroes.
+        Ok(PageData::Shared(
+            file.fs
+                .read_bytes_gather(ino, file.fh, page_off, PAGE_SIZE)?,
+        ))
     }
 
     /// Writes through the cache according to `mode`.
@@ -348,15 +425,15 @@ impl PageCache {
             let tick = st.tick;
             let entry = st.pages.entry(key).or_insert_with(|| PageEntry {
                 data: if mode.synthetic {
-                    None
+                    PageData::Synthetic
                 } else {
-                    Some(Box::new([0u8; PAGE_SIZE]))
+                    PageData::Owned(Box::new([0u8; PAGE_SIZE]))
                 },
                 dirty: false,
                 version: 0,
                 last_access: tick,
             });
-            if let Some(p) = entry.data.as_deref_mut() {
+            if let Some(p) = entry.data.make_mut() {
                 p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             }
             entry.last_access = tick;
@@ -419,15 +496,15 @@ impl PageCache {
                 })
                 .or_insert_with(|| PageEntry {
                     data: if mode.synthetic {
-                        None
+                        PageData::Synthetic
                     } else {
-                        Some(Box::new([0u8; PAGE_SIZE]))
+                        PageData::Owned(Box::new([0u8; PAGE_SIZE]))
                     },
                     dirty: false,
                     version: 0,
                     last_access: tick,
                 });
-            if let Some(p) = entry.data.as_deref_mut() {
+            if let Some(p) = entry.data.make_mut() {
                 p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             }
             entry.last_access = tick;
@@ -457,17 +534,19 @@ impl PageCache {
                 .map(|(k, e)| (k.page, e.version))
                 .collect();
             dirty.sort_unstable();
-            // Merge contiguous pages into runs, capturing the data.
+            // Merge contiguous pages into runs, gathering the data. This
+            // gather is write-back's one copy: from here the run travels as
+            // a single retained `Bytes` buffer through `write_bytes` (and,
+            // over FUSE with splice-write, across the protocol boundary and
+            // into blob storage) without further copies.
             let mut runs: Vec<FlushRun> = Vec::new();
             for (page, version) in dirty {
                 let key = PageKey { dev, ino, page };
-                let bytes: Vec<u8> = match &st.pages[&key].data {
-                    Some(p) => p.to_vec(),
-                    None => vec![0u8; PAGE_SIZE],
-                };
+                let mut bytes = vec![0u8; PAGE_SIZE];
+                st.pages[&key].data.read_into(0, &mut bytes);
                 match runs.last_mut() {
                     Some((start, buf, members))
-                        if *start + (buf.len() / PAGE_SIZE) as u64 == page =>
+                        if self.coalesce && *start + (buf.len() / PAGE_SIZE) as u64 == page =>
                     {
                         buf.extend_from_slice(&bytes);
                         members.push((page, version));
@@ -495,10 +574,14 @@ impl PageCache {
             }
             // Writeback is background I/O: it occupies the disk but does not
             // stall the writer. An fsync barrier (`fs.fsync` → device flush)
-            // waits for the backlog.
+            // waits for the backlog. The run moves as one owned buffer —
+            // over FUSE with splice-write negotiated it crosses to the
+            // server (and into chunk storage) by reference.
             {
                 let _bg = cntr_blockdev::BackgroundIo::enter();
-                flush_ref.fs.write(ino, flush_ref.fh, offset, &buf)?;
+                flush_ref
+                    .fs
+                    .write_bytes(ino, flush_ref.fh, offset, Bytes::from(buf))?;
             }
             self.flush_batches.fetch_add(1, Ordering::Relaxed);
             self.flushed_pages

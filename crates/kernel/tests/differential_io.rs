@@ -1,0 +1,345 @@
+//! The differential splice/batching oracle.
+//!
+//! Splice and write-back batching are *transport* optimizations: they may
+//! change how bytes move, never what they say. This property test replays
+//! random operation sequences — write / aligned write / read / truncate /
+//! fsync / remount — through the full kernel VFS + page cache + FUSE stack
+//! under **all four `InitFlags` splice combinations × write-back batching
+//! on/off**, plus a native (non-FUSE) mount as the ground-truth oracle,
+//! and demands byte-identical observations and final file contents from
+//! every configuration.
+//!
+//! A divergence here means a real data-path bug: a spliced buffer aliased
+//! after mutation, a batched flush writing the wrong run, a shared page
+//! surviving a truncate.
+
+use cntr_fs::memfs::memfs;
+use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, InitFlags, InlineTransport};
+use cntr_kernel::{CacheMode, Kernel, KernelConfig, MountFlags};
+use cntr_types::{CostModel, DevId, Mode, OpenFlags, Pid, SimClock};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PAGE: u64 = 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Unaligned write: `(slot, offset, len-seed)`.
+    Write(u8, u32, u16),
+    /// Page-aligned contiguous write — the shape batching coalesces:
+    /// `(slot, start_page, pages)`.
+    WriteRun(u8, u8, u8),
+    /// Read back `(slot, offset, len)`.
+    Read(u8, u32, u16),
+    /// `truncate(2)` to `(slot, size)`.
+    Truncate(u8, u32),
+    /// `fsync(2)` the slot's file.
+    Fsync(u8),
+    /// The umount/mount cycle: sync everything dirty, drop every cache
+    /// (kernel pages and FUSE client entry/attr/readahead state), so all
+    /// state must survive a full round trip through the server.
+    Remount,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u32..196_608, 1u16..16_384).prop_map(|(s, o, l)| Op::Write(s, o, l)),
+        (0u8..4, 0u8..48, 1u8..16).prop_map(|(s, p, n)| Op::WriteRun(s, p, n)),
+        (0u8..4, 0u32..262_144, 1u16..16_384).prop_map(|(s, o, l)| Op::Read(s, o, l)),
+        (0u8..4, 0u32..262_144).prop_map(|(s, z)| Op::Truncate(s, z)),
+        (0u8..4).prop_map(Op::Fsync),
+        Just(Op::Remount),
+    ]
+}
+
+/// Deterministic payload bytes for a write op.
+fn fill(slot: u8, offset: u32, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (slot as usize * 31 + offset as usize + i * 7) as u8 ^ 0x5A)
+        .collect()
+}
+
+fn fletcher(data: &[u8]) -> u32 {
+    let (mut a, mut b) = (0u32, 0u32);
+    for &byte in data {
+        a = (a + u32::from(byte)) % 65521;
+        b = (b + a) % 65521;
+    }
+    (b << 16) | a
+}
+
+/// One configuration under test.
+struct Env {
+    k: Kernel,
+    pid: Pid,
+    /// The FUSE client, when this env mounts one (None = native oracle).
+    client: Option<Arc<FuseClientFs>>,
+    label: String,
+}
+
+impl Env {
+    fn fuse(splice_read: bool, splice_write: bool, coalesce: bool) -> Env {
+        let clock = SimClock::new();
+        let root = memfs(DevId(1), clock.clone());
+        let config = KernelConfig {
+            // A small dirty limit forces background write-back mid-sequence,
+            // so batched and unbatched flushes interleave with the ops.
+            dirty_limit_bytes: 48 * PAGE,
+            coalesce_writeback: coalesce,
+            ..KernelConfig::default()
+        };
+        let k = Kernel::with_clock(clock.clone(), root, CacheMode::native(), config);
+        let pid = k.fork(Pid::INIT).expect("fork");
+        k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");
+        let backing = memfs(DevId(2), clock.clone());
+        let mut flags = InitFlags::cntr_default();
+        flags.splice_read = splice_read;
+        flags.splice_write = splice_write;
+        let transport = InlineTransport::new(FsHandler::new(backing));
+        let client = FuseClientFs::mount(
+            DevId(0xC0),
+            clock,
+            CostModel::calibrated(),
+            FuseConfig::optimized().with_flags(flags),
+            transport,
+        )
+        .expect("mount fuse");
+        let eff = client.effective_flags();
+        let cache = CacheMode {
+            writeback: eff.writeback_cache,
+            keep_cache: eff.keep_cache,
+            synthetic: false,
+        };
+        k.mount_fs(
+            pid,
+            "/mnt",
+            Arc::clone(&client) as Arc<dyn cntr_fs::Filesystem>,
+            cache,
+            MountFlags::default(),
+        )
+        .expect("mount");
+        Env {
+            k,
+            pid,
+            client: Some(client),
+            label: format!("fuse(sr={splice_read},sw={splice_write},batch={coalesce})"),
+        }
+    }
+
+    fn native() -> Env {
+        let clock = SimClock::new();
+        let root = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(
+            clock.clone(),
+            root,
+            CacheMode::native(),
+            KernelConfig::default(),
+        );
+        let pid = k.fork(Pid::INIT).expect("fork");
+        k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");
+        let fs = memfs(DevId(2), clock);
+        k.mount_fs(pid, "/mnt", fs, CacheMode::native(), MountFlags::default())
+            .expect("mount");
+        Env {
+            k,
+            pid,
+            client: None,
+            label: "native".to_string(),
+        }
+    }
+
+    fn path(slot: u8) -> String {
+        format!("/mnt/f{slot}")
+    }
+
+    /// Applies one op, producing an observation string every configuration
+    /// must agree on.
+    fn apply(&self, op: &Op) -> String {
+        match op {
+            Op::Write(slot, offset, lseed) => {
+                self.write_at(*slot, u64::from(*offset), *lseed as usize)
+            }
+            Op::WriteRun(slot, page, pages) => self.write_at(
+                *slot,
+                u64::from(*page) * PAGE,
+                *pages as usize * PAGE as usize,
+            ),
+            Op::Read(slot, offset, len) => {
+                let fd = match self.k.open(
+                    self.pid,
+                    &Self::path(*slot),
+                    OpenFlags::RDONLY,
+                    Mode::RW_R__R__,
+                ) {
+                    Ok(fd) => fd,
+                    Err(e) => return format!("read open {e}"),
+                };
+                let mut buf = vec![0u8; *len as usize];
+                let out = match self.k.pread(self.pid, fd, u64::from(*offset), &mut buf) {
+                    Ok(n) => format!("read {n} {:08x}", fletcher(&buf[..n])),
+                    Err(e) => format!("read {e}"),
+                };
+                let _ = self.k.close(self.pid, fd);
+                out
+            }
+            Op::Truncate(slot, size) => {
+                match self
+                    .k
+                    .truncate(self.pid, &Self::path(*slot), u64::from(*size))
+                {
+                    Ok(()) => "trunc ok".to_string(),
+                    Err(e) => format!("trunc {e}"),
+                }
+            }
+            Op::Fsync(slot) => {
+                let fd = match self.k.open(
+                    self.pid,
+                    &Self::path(*slot),
+                    OpenFlags::RDWR,
+                    Mode::RW_R__R__,
+                ) {
+                    Ok(fd) => fd,
+                    Err(e) => return format!("fsync open {e}"),
+                };
+                let out = match self.k.fsync(self.pid, fd, false) {
+                    Ok(()) => "fsync ok".to_string(),
+                    Err(e) => format!("fsync {e}"),
+                };
+                let _ = self.k.close(self.pid, fd);
+                out
+            }
+            Op::Remount => {
+                self.k.sync().expect("sync");
+                self.k.drop_caches().expect("drop caches");
+                if let Some(client) = &self.client {
+                    client.drop_caches();
+                }
+                "remount ok".to_string()
+            }
+        }
+    }
+
+    fn write_at(&self, slot: u8, offset: u64, len: usize) -> String {
+        let fd = match self.k.open(
+            self.pid,
+            &Self::path(slot),
+            OpenFlags::RDWR.with(OpenFlags::CREAT),
+            Mode::RW_R__R__,
+        ) {
+            Ok(fd) => fd,
+            Err(e) => return format!("write open {e}"),
+        };
+        let data = fill(slot, offset as u32, len);
+        let out = match self.k.pwrite(self.pid, fd, offset, &data) {
+            Ok(n) => format!("write {n}"),
+            Err(e) => format!("write {e}"),
+        };
+        let _ = self.k.close(self.pid, fd);
+        out
+    }
+
+    /// Final observable state: synced size + checksum of every slot.
+    fn final_state(&self) -> Vec<String> {
+        self.k.sync().expect("final sync");
+        (0..4u8)
+            .map(|slot| {
+                let size = match self.k.stat(self.pid, &Self::path(slot)) {
+                    Ok(st) => st.size,
+                    Err(e) => return format!("f{slot}: {e}"),
+                };
+                let fd = self
+                    .k
+                    .open(
+                        self.pid,
+                        &Self::path(slot),
+                        OpenFlags::RDONLY,
+                        Mode::RW_R__R__,
+                    )
+                    .expect("open for final read");
+                let mut content = Vec::new();
+                let mut buf = vec![0u8; 16384];
+                loop {
+                    let n = self.k.read_fd(self.pid, fd, &mut buf).expect("final read");
+                    if n == 0 {
+                        break;
+                    }
+                    content.extend_from_slice(&buf[..n]);
+                }
+                let _ = self.k.close(self.pid, fd);
+                format!("f{slot}: size={size} sum={:08x}", fletcher(&content))
+            })
+            .collect()
+    }
+}
+
+/// The eight FUSE configurations (4 splice combos × batching on/off) plus
+/// the native oracle.
+fn all_envs() -> Vec<Env> {
+    let mut envs = vec![Env::native()];
+    for &sr in &[false, true] {
+        for &sw in &[false, true] {
+            for &batch in &[false, true] {
+                envs.push(Env::fuse(sr, sw, batch));
+            }
+        }
+    }
+    envs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn splice_and_batching_never_change_observable_io(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let envs = all_envs();
+        for (i, op) in ops.iter().enumerate() {
+            let expected = envs[0].apply(op);
+            for env in &envs[1..] {
+                let got = env.apply(op);
+                prop_assert_eq!(
+                    &expected, &got,
+                    "op {} ({:?}) diverged under {}", i, op, env.label
+                );
+            }
+        }
+        let oracle = envs[0].final_state();
+        for env in &envs[1..] {
+            let got = env.final_state();
+            prop_assert_eq!(
+                &oracle, &got,
+                "final contents diverged under {}", env.label
+            );
+        }
+    }
+}
+
+/// Batching changes *how* dirty pages flush, never what lands: the same
+/// big contiguous write ends up byte-identical in the backing store, but
+/// the coalescing is observable in the flush counters.
+#[test]
+fn batching_is_invisible_in_content_but_visible_in_counters() {
+    let batched = Env::fuse(true, true, true);
+    let unbatched = Env::fuse(true, true, false);
+    for env in [&batched, &unbatched] {
+        let out = env.apply(&Op::WriteRun(0, 0, 64));
+        assert_eq!(out, "write 262144");
+        assert_eq!(env.apply(&Op::Fsync(0)), "fsync ok");
+    }
+    assert_eq!(batched.final_state(), unbatched.final_state());
+    let b = batched.k.page_cache_stats();
+    let u = unbatched.k.page_cache_stats();
+    assert_eq!(b.flushed_pages, u.flushed_pages, "same pages either way");
+    assert!(
+        b.flush_batches < u.flush_batches,
+        "coalescing must issue fewer, larger write-back requests: \
+         batched={} unbatched={}",
+        b.flush_batches,
+        u.flush_batches
+    );
+    assert_eq!(
+        u.flush_batches, u.flushed_pages,
+        "unbatched write-back is one request per page"
+    );
+}

@@ -10,13 +10,22 @@
 //! O(upper writes).
 
 use crate::blob::{is_zero, BlobId, BlobStore, CHUNK_SIZE};
+use bytes::Bytes;
 use cntr_fs::nodefs::NodeFs;
 use cntr_fs::store::{for_each_page, punch_hole_pages, zero_partial_edges, FileStore};
 use cntr_fs::FsFeatures;
 use cntr_types::{DevId, SimClock};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared all-zero chunk holes read from (the moral equivalent of the
+/// kernel's `ZERO_PAGE`): hole reads on the splice path hand out slices of
+/// this one allocation instead of zero-filling fresh buffers.
+fn zero_chunk() -> &'static Bytes {
+    static ZERO: OnceLock<Bytes> = OnceLock::new();
+    ZERO.get_or_init(|| Bytes::from(vec![0u8; CHUNK_SIZE]))
+}
 
 /// Content store delegating all bytes to a shared [`BlobStore`].
 pub struct BlobBackend {
@@ -186,6 +195,44 @@ impl FileStore for BlobBackend {
     }
 
     fn sync(&self) {}
+
+    fn read_bytes(&self, content: &BlobContent, offset: u64, len: usize) -> Option<Bytes> {
+        // One chunk per call (a short read at the chunk boundary): the
+        // returned buffer is a slice of the stored chunk — or of the shared
+        // zero chunk for a hole — never a copy.
+        let page_no = offset / CHUNK_SIZE as u64;
+        let in_page = (offset % CHUNK_SIZE as u64) as usize;
+        let n = (CHUNK_SIZE - in_page).min(len);
+        let chunk = match content.chunks.get(&page_no) {
+            Some(&id) => self.store.chunk_bytes(id),
+            None => zero_chunk().clone(),
+        };
+        // A short chunk (direct `put`) reads as zero at and past its end;
+        // fall back to the copying path for that rare shape.
+        if chunk.len() < in_page + n {
+            return None;
+        }
+        Some(chunk.slice(in_page..in_page + n))
+    }
+
+    fn write_bytes(&self, content: &mut BlobContent, offset: u64, data: &Bytes) {
+        for_each_page(offset, data.len(), |page_no, in_page, pos, n| {
+            if in_page == 0 && n == CHUNK_SIZE {
+                // Chunk-aligned: retain a slice of the incoming buffer
+                // (refcount bump on dedup, zero copies either way).
+                let slice = data.slice(pos..pos + n);
+                let id = if is_zero(&slice) {
+                    None
+                } else {
+                    Some(self.store.put_bytes(slice))
+                };
+                self.remap(content, page_no, id);
+            } else {
+                // Unaligned edge: read-modify-write, as `write` does.
+                self.write(content, offset + pos as u64, &data[pos..pos + n]);
+            }
+        });
+    }
 }
 
 /// A POSIX filesystem whose file contents live in a shared [`BlobStore`].

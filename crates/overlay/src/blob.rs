@@ -8,6 +8,7 @@
 //! registry-side flist stores (rfs) and dedup measurements across engines
 //! motivate.
 
+use bytes::Bytes;
 use cntr_blockdev::BLOCK_SIZE;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -36,8 +37,10 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 struct ChunkSlot {
-    /// `None` after the refcount dropped to zero (slot reusable).
-    data: Option<Box<[u8]>>,
+    /// `None` after the refcount dropped to zero (slot reusable). Stored as
+    /// [`Bytes`] so the splice path can *retain* incoming buffers on write
+    /// and hand out reference-counted slices on read — no copies.
+    data: Option<Bytes>,
     refs: u64,
 }
 
@@ -98,6 +101,29 @@ impl BlobStore {
     /// The caller must not pass an all-zero chunk — holes are represented
     /// by *absence* of a chunk, never by a stored zero chunk.
     pub fn put(&self, data: &[u8]) -> BlobId {
+        self.insert(data, None)
+    }
+
+    /// Stores an owned buffer (one chunk, ≤ [`CHUNK_SIZE`] bytes) **without
+    /// copying**: a chunk not already present retains `data` itself — the
+    /// storage end of the splice write path. Dedup semantics are identical
+    /// to [`BlobStore::put`]; a dedup hit drops `data` without retaining
+    /// anything.
+    ///
+    /// Trade-off, as with real spliced pages: a retained slice pins its
+    /// whole backing allocation. A chunk sliced from a large coalesced
+    /// write-back run keeps that run's buffer alive until the chunk is
+    /// freed or rewritten — memory amplification when most of the run
+    /// dedups away. That is the price of zero-copy ingest; callers that
+    /// would rather pay the memcpy than the pin should use
+    /// [`BlobStore::put`].
+    pub fn put_bytes(&self, data: Bytes) -> BlobId {
+        // The O(1) clone lets `insert` borrow `data` for the dedup probe
+        // and retain the same underlying allocation on a miss.
+        self.insert(&data.clone(), Some(data))
+    }
+
+    fn insert(&self, data: &[u8], retain: Option<Bytes>) -> BlobId {
         debug_assert!(data.len() <= CHUNK_SIZE);
         debug_assert!(!is_zero(data), "zero chunks must be elided by callers");
         let hash = fnv1a(data);
@@ -115,18 +141,21 @@ impl BlobStore {
                 };
             }
         }
+        // First sighting: retain the caller's buffer if it handed us one
+        // (zero copy), otherwise copy the borrowed slice.
+        let stored = retain.unwrap_or_else(|| Bytes::copy_from_slice(data));
         // Reuse a freed slot or append.
         let slot = match bucket.iter().position(|s| s.data.is_none()) {
             Some(i) => {
                 bucket[i] = ChunkSlot {
-                    data: Some(data.to_vec().into_boxed_slice()),
+                    data: Some(stored),
                     refs: 1,
                 };
                 i
             }
             None => {
                 bucket.push(ChunkSlot {
-                    data: Some(data.to_vec().into_boxed_slice()),
+                    data: Some(stored),
                     refs: 1,
                 });
                 bucket.len() - 1
@@ -137,6 +166,32 @@ impl BlobStore {
             hash,
             slot: slot as u32,
         }
+    }
+
+    /// Returns the chunk's bytes as a shared reference-counted buffer —
+    /// O(1), no copy. Panics on a dangling id, like [`BlobStore::read`].
+    pub fn chunk_bytes(&self, id: BlobId) -> Bytes {
+        let st = self.state.lock();
+        st.buckets[&id.hash][id.slot as usize]
+            .data
+            .clone()
+            .expect("read of freed chunk")
+    }
+
+    /// Looks a chunk up by content *without* inserting or bumping refcounts
+    /// (diagnostics; the zero-copy proof tests use it to locate stored
+    /// chunks for pointer-identity assertions).
+    pub fn lookup_chunk(&self, data: &[u8]) -> Option<BlobId> {
+        let hash = fnv1a(data);
+        let st = self.state.lock();
+        let bucket = st.buckets.get(&hash)?;
+        bucket
+            .iter()
+            .position(|s| s.data.as_deref() == Some(data))
+            .map(|slot| BlobId {
+                hash,
+                slot: slot as u32,
+            })
     }
 
     /// Copies the chunk's bytes at `range` into `buf`. Panics on a dangling

@@ -32,5 +32,5 @@ pub mod blob;
 pub mod overlay;
 
 pub use backend::{blobfs, blobfs_with_capacity, BlobBackend, BlobFs};
-pub use blob::{BlobHandle, BlobId, BlobStore, BlobStoreStats};
+pub use blob::{BlobHandle, BlobId, BlobStore, BlobStoreStats, CHUNK_SIZE};
 pub use overlay::{DiffEntry, DiffKind, OverlayFs};

@@ -1309,6 +1309,29 @@ impl Filesystem for OverlayFs {
         self.layer_fs(layer).write(real_ino, real_fh, offset, data)
     }
 
+    fn read_bytes(&self, _ino: Ino, fh: Fh, offset: u64, len: usize) -> SysResult<bytes::Bytes> {
+        // The splice path passes straight through to the layer that holds
+        // the bytes (blob-backed layers answer with chunk slices, no copy).
+        let st = self.state.lock();
+        let h = st.handles.get(&fh).ok_or(Errno::EBADF)?;
+        let (layer, real_ino, real_fh) = (h.layer, h.real_ino, h.real_fh);
+        drop(st);
+        self.layer_fs(layer)
+            .read_bytes(real_ino, real_fh, offset, len)
+    }
+
+    fn write_bytes(&self, _ino: Ino, fh: Fh, offset: u64, data: bytes::Bytes) -> SysResult<usize> {
+        let st = self.state.lock();
+        let h = st.handles.get(&fh).ok_or(Errno::EBADF)?;
+        let (layer, real_ino, real_fh) = (h.layer, h.real_ino, h.real_fh);
+        drop(st);
+        if matches!(layer, LayerKey::Lower(_)) {
+            return Err(Errno::EBADF);
+        }
+        self.layer_fs(layer)
+            .write_bytes(real_ino, real_fh, offset, data)
+    }
+
     fn fsync(&self, _ino: Ino, fh: Fh, datasync: bool) -> SysResult<()> {
         let st = self.state.lock();
         let h = st.handles.get(&fh).ok_or(Errno::EBADF)?;

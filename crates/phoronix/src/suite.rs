@@ -699,7 +699,9 @@ pub fn run_workload(w: Workload, fuse: FuseConfig) -> BenchRow {
 pub fn figure2() -> Vec<BenchRow> {
     ALL_WORKLOADS
         .iter()
-        .map(|w| run_workload(*w, FuseConfig::optimized()))
+        // Figures are calibrated against the paper's published
+        // configuration (splice-write off): `FuseConfig::paper()`.
+        .map(|w| run_workload(*w, FuseConfig::paper()))
         .collect()
 }
 
@@ -725,7 +727,7 @@ impl Figure3Row {
 
 /// Figure 3: each §3.3 optimization toggled individually.
 pub fn figure3() -> Vec<Figure3Row> {
-    let base = FuseConfig::optimized();
+    let base = FuseConfig::paper();
     let toggle = |f: fn(&mut InitFlags)| {
         let mut flags = base.flags;
         f(&mut flags);
@@ -806,7 +808,7 @@ pub fn figure4() -> Vec<Figure4Row> {
     [1usize, 2, 4, 8, 16]
         .iter()
         .map(|&threads| {
-            let cfg = FuseConfig::optimized().with_workers(threads);
+            let cfg = FuseConfig::paper().with_workers(threads);
             let env = PerfEnv::build(Target::CntrfsThreaded(cfg));
             let t = iozone_read_fuse_cold(&env);
             let mb = 96.0;
