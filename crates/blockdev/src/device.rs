@@ -99,7 +99,7 @@ impl BlockDevice {
             clock,
             stats: Arc::new(IoStats::default()),
             store_data: true,
-            state: Mutex::new(DeviceState::default()),
+            state: Mutex::new_class("blockdev.device_state", DeviceState::default()),
         })
     }
 
@@ -112,7 +112,7 @@ impl BlockDevice {
             clock,
             stats: Arc::new(IoStats::default()),
             store_data: false,
-            state: Mutex::new(DeviceState::default()),
+            state: Mutex::new_class("blockdev.device_state", DeviceState::default()),
         })
     }
 

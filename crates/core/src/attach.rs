@@ -235,7 +235,7 @@ impl Cntr {
             server,
             pty,
             shell,
-            proxies: Mutex::new(Vec::new()),
+            proxies: Mutex::new_class("core.attach.proxies", Vec::new()),
         })
     }
 

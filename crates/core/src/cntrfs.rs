@@ -85,13 +85,16 @@ impl CntrfsServer {
         CntrfsServer {
             kernel,
             server_pid,
-            state: Arc::new(Mutex::new(ServerState {
-                inodes,
-                by_backing: HashMap::new(),
-                next_ino: 2,
-                handles: HashMap::new(),
-                next_fh: 1,
-            })),
+            state: Arc::new(Mutex::new_class(
+                "core.cntrfs.state",
+                ServerState {
+                    inodes,
+                    by_backing: HashMap::new(),
+                    next_ino: 2,
+                    handles: HashMap::new(),
+                    next_fh: 1,
+                },
+            )),
         }
     }
 

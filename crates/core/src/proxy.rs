@@ -59,7 +59,7 @@ impl SocketProxy {
             target_path: target_path.to_string(),
             listener_fd,
             epoll_fd,
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new_class("core.proxy.conns", Vec::new()),
         }))
     }
 

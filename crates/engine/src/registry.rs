@@ -62,11 +62,19 @@ impl DeployReport {
 }
 
 /// An image registry plus per-host layer caches.
-#[derive(Default)]
 pub struct Registry {
     images: Mutex<HashMap<String, Arc<Image>>>,
     /// Layers already present per host.
     host_layers: Mutex<HashMap<String, HashSet<String>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            images: Mutex::new_class("engine.registry.images", HashMap::new()),
+            host_layers: Mutex::new_class("engine.registry.host_layers", HashMap::new()),
+        }
+    }
 }
 
 impl Registry {

@@ -135,10 +135,10 @@ impl ContainerRuntime {
             kind,
             kernel,
             registry,
-            containers: Mutex::new(HashMap::new()),
+            containers: Mutex::new_class("engine.containers", HashMap::new()),
             store,
-            layers: Mutex::new(HashMap::new()),
-            overlays: Mutex::new(HashMap::new()),
+            layers: Mutex::new_class("engine.layers", HashMap::new()),
+            overlays: Mutex::new_class("engine.overlays", HashMap::new()),
             next_seq: AtomicU64::new(1),
             next_dev: AtomicU64::new(1000),
         }

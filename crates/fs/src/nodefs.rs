@@ -143,13 +143,16 @@ impl<S: FileStore> NodeFs<S> {
             capacity,
             clock,
             store,
-            state: Mutex::new(FsState {
-                inodes,
-                handles: HashMap::new(),
-                next_ino: 2,
-                next_fh: 1,
-                used_bytes: 0,
-            }),
+            state: Mutex::new_class(
+                "fs.node_state",
+                FsState {
+                    inodes,
+                    handles: HashMap::new(),
+                    next_ino: 2,
+                    next_fh: 1,
+                    used_bytes: 0,
+                },
+            ),
         }
     }
 

@@ -171,7 +171,7 @@ impl DiskStore {
     pub fn new(device: Arc<BlockDevice>) -> DiskStore {
         DiskStore {
             device,
-            alloc: Mutex::new(BlockAllocator::default()),
+            alloc: Mutex::new_class("fs.block_alloc", BlockAllocator::default()),
         }
     }
 

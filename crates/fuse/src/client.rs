@@ -118,7 +118,7 @@ impl FuseClientFs {
             cost,
             config,
             transport,
-            state: Mutex::new(ClientState::default()),
+            state: Mutex::new_class("fuse.client_state", ClientState::default()),
             entry_hits: AtomicU64::new(0),
             entry_misses: AtomicU64::new(0),
             attr_hits: AtomicU64::new(0),

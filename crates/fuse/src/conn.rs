@@ -151,6 +151,16 @@ impl<H: FuseHandler> InlineTransport<H> {
 
 impl<H: FuseHandler> Transport for InlineTransport<H> {
     fn call(&self, req: Request) -> Reply {
+        // Blocking-context checkpoint: the handler may re-enter the kernel
+        // (writeback of dirty FUSE pages), so entering the transport while
+        // holding a lock a re-entrant path could need is the PR-3 deadlock
+        // class. Panic deterministically instead of deadlocking under rare
+        // schedules. `kernel.fd_offset` is exempt for the same reason f_pos
+        // is safe in Linux: it is held across fd-based I/O for POSIX offset
+        // atomicity, and server-side paths (writeback included) go through
+        // `Filesystem` methods, never through the caller's fd table.
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        lockdep::assert_no_locks_held_except(&["kernel.fd_offset"]);
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
@@ -252,6 +262,12 @@ impl ThreadedTransport {
 
 impl Transport for ThreadedTransport {
     fn call(&self, req: Request) -> Reply {
+        // Blocking-context checkpoint: both paths below either park on
+        // `reply_rx.recv()` or execute the handler inline; doing so while
+        // holding a lock a worker could need is the PR-3 writeback deadlock
+        // class. `kernel.fd_offset` is exempt — see `InlineTransport::call`.
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        lockdep::assert_no_locks_held_except(&["kernel.fd_offset"]);
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
@@ -348,6 +364,35 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(t.stats().lookups, 800);
+    }
+
+    /// Entering either transport with a lock held is the PR-3 writeback
+    /// deadlock class; the checkpoint must turn it into a deterministic
+    /// panic that names the held class — on every run, not only under the
+    /// losing schedule.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    fn call_with_lock_held_panics_at_the_checkpoint() {
+        for threaded in [false, true] {
+            let err = std::thread::spawn(move || {
+                let t: Arc<dyn Transport> = if threaded {
+                    Arc::new(ThreadedTransport::new(EchoHandler, 2))
+                } else {
+                    InlineTransport::new(EchoHandler)
+                };
+                let guard = parking_lot::Mutex::new_class("fuse.test.outer", ());
+                let _held = guard.lock();
+                t.call(lookup())
+            })
+            .join()
+            .expect_err("call with a lock held must be rejected");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic carries a message");
+            assert!(msg.contains("blocking-context violation"), "{msg}");
+            assert!(msg.contains("fuse.test.outer"), "{msg}");
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl FsHandler {
         FsHandler {
             fs,
             supported: InitFlags::all(),
-            nlookup: Arc::new(Mutex::new(HashMap::new())),
+            nlookup: Arc::new(Mutex::new_class("fuse.server.nlookup", HashMap::new())),
         }
     }
 

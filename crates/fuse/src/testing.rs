@@ -41,9 +41,16 @@ pub struct PayloadHop {
 }
 
 /// A shared, ordered trace of payload observations.
-#[derive(Default)]
 pub struct PayloadLog {
     hops: Mutex<Vec<PayloadHop>>,
+}
+
+impl Default for PayloadLog {
+    fn default() -> PayloadLog {
+        PayloadLog {
+            hops: Mutex::new_class("fuse.testing.payload_log", Vec::new()),
+        }
+    }
 }
 
 impl PayloadLog {

@@ -55,9 +55,16 @@ struct Watch {
 }
 
 /// An epoll instance.
-#[derive(Default)]
 pub struct Epoll {
     watches: Mutex<HashMap<u64, Watch>>,
+}
+
+impl Default for Epoll {
+    fn default() -> Epoll {
+        Epoll {
+            watches: Mutex::new_class("kernel.epoll.watches", HashMap::new()),
+        }
+    }
 }
 
 impl Epoll {

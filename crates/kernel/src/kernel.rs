@@ -13,7 +13,7 @@ use crate::pagecache::{PageCache, PageCacheStats};
 use crate::pipe::Pipe;
 use crate::process::{FdEntry, FileKind, OpenFile, Process, ProcessState, VfsLoc};
 use crate::socket::{SocketEnd, SocketListener};
-use crate::table::{MountTable, NsRefs, ProcTable, DEFAULT_PROC_SHARDS};
+use crate::table::{lock_class, MountTable, NsRefs, ProcTable, DEFAULT_PROC_SHARDS};
 use cntr_fs::Filesystem;
 use cntr_types::{
     Capability, CostModel, DevId, Errno, Ino, OpenFlags, Pid, RlimitSet, SimClock, SysResult,
@@ -199,10 +199,10 @@ impl Kernel {
                 mounts: MountTable::new(root_ns),
                 ns_refs: NsRefs::new(&init_ns),
                 next_ns: AtomicU64::new(2),
-                cgroups: Mutex::new(cgroups),
-                hostnames: RwLock::new(hostnames),
-                socket_nodes: Mutex::new(HashMap::new()),
-                fanotify: Mutex::new(HashMap::new()),
+                cgroups: Mutex::new_class(lock_class::CGROUPS, cgroups),
+                hostnames: RwLock::new_class(lock_class::HOSTNAMES, hostnames),
+                socket_nodes: Mutex::new_class(lock_class::SOCKET_NODES, HashMap::new()),
+                fanotify: Mutex::new_class(lock_class::FANOTIFY, HashMap::new()),
             }),
         }
     }
@@ -301,8 +301,12 @@ impl Kernel {
         // cgroup tree is touched. Roll the insert back if attach fails —
         // dropping the removed process (and its cloned fd table, which can
         // release FUSE handles that re-enter the kernel) outside the shard
-        // lock, as `exit`/`reap` do.
-        if let Err(e) = self.inner.cgroups.lock().attach(child_pid, &cgroup) {
+        // lock, as `exit`/`reap` do. The attach result is bound first: an
+        // `if let` scrutinee's temporaries live to the end of the block in
+        // edition 2021, and the rollback below must not run under the
+        // cgroups guard (it re-locks a process shard — reverse rank order).
+        let attached = self.inner.cgroups.lock().attach(child_pid, &cgroup);
+        if let Err(e) = attached {
             let (removed, dead) = {
                 let mut shard = self.inner.procs.lock_shard_of(child_pid);
                 let removed = shard.remove(&child_pid);
@@ -894,7 +898,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::PipeRead(Arc::clone(&pipe)),
                     flags: OpenFlags::RDONLY,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             });
@@ -902,7 +906,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::PipeWrite(Arc::clone(&pipe)),
                     flags: OpenFlags::WRONLY,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             });
@@ -919,7 +923,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Socket(a.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             });
@@ -927,7 +931,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Socket(b.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             });
@@ -951,7 +955,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Socket(end.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             }))
@@ -967,7 +971,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Epoll(ep.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             }))
@@ -1058,6 +1062,34 @@ mod tests {
         assert_eq!(info.name, "init");
         assert!(info.creds.caps.has(Capability::SysAdmin));
         assert_eq!(k.pids(), vec![Pid::INIT]);
+    }
+
+    /// The fork-rollback path (cgroup attach failure) re-locks the child's
+    /// shard and releases namespace refs; it must run *after* the cgroups
+    /// guard drops. Lockdep verifies the order at runtime — this test is
+    /// what drives the path, which no happy-path test reaches.
+    #[test]
+    fn fork_rollback_on_cgroup_limit_is_clean() {
+        let k = kernel();
+        let cg = k.cgroup_create("/jail").unwrap();
+        k.cgroup_set_limits(
+            &cg,
+            CgroupLimits {
+                pids_max: Some(1),
+                ..CgroupLimits::default()
+            },
+        )
+        .unwrap();
+        k.cgroup_attach(Pid::INIT, &cg).unwrap();
+        // The child inherits /jail, whose pid budget init exhausts: the
+        // attach fails and the inserted child must be rolled back whole.
+        assert_eq!(k.fork(Pid::INIT), Err(Errno::EAGAIN));
+        assert_eq!(k.pids(), vec![Pid::INIT]);
+        assert_eq!(k.cgroup_members(&cg).unwrap(), vec![Pid::INIT]);
+        // The table is intact: a fork after lifting the limit succeeds.
+        k.cgroup_set_limits(&cg, CgroupLimits::default()).unwrap();
+        let child = k.fork(Pid::INIT).unwrap();
+        assert!(k.is_alive(child));
     }
 
     #[test]

@@ -104,6 +104,11 @@ struct PageEntry {
     last_access: u64,
 }
 
+/// Invariant: a `FileState` (it owns a [`FileRef`] via `flush_ref`) must
+/// never be dropped while the cache state lock is held. Dropping the last
+/// `Arc<FileRef>` calls `Filesystem::release`, which for a FUSE mount is a
+/// transport round trip — blocking inside the lock that writeback re-entry
+/// needs. Every removal site takes the state out, unlocks, then drops.
 struct FileState {
     /// Write handle pinned for writeback.
     flush_ref: Option<Arc<FileRef>>,
@@ -203,12 +208,15 @@ impl PageCache {
             capacity_pages: (capacity_bytes / PAGE_SIZE as u64).max(16) as usize,
             dirty_limit_pages: (dirty_limit_bytes / PAGE_SIZE as u64).max(4) as usize,
             coalesce: true,
-            state: Mutex::new(CacheState {
-                pages: HashMap::new(),
-                files: HashMap::new(),
-                tick: 0,
-                dirty_total: 0,
-            }),
+            state: Mutex::new_class(
+                "kernel.page_cache",
+                CacheState {
+                    pages: HashMap::new(),
+                    files: HashMap::new(),
+                    tick: 0,
+                    dirty_total: 0,
+                },
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             flushed_pages: AtomicU64::new(0),
@@ -603,13 +611,16 @@ impl PageCache {
         }
 
         let mut st = self.state.lock();
+        let mut released = None;
         if let Some(f) = st.files.get_mut(&(dev, ino)) {
             if f.dirty_pages == 0 {
                 f.pending_size = None;
                 f.pending_mtime = None;
-                f.flush_ref = None;
+                released = f.flush_ref.take();
             }
         }
+        drop(st);
+        drop(released);
         Ok(())
     }
 
@@ -648,7 +659,9 @@ impl PageCache {
         self.flush_file(dev, ino)?;
         let mut st = self.state.lock();
         st.pages.retain(|k, _| !(k.dev == dev && k.ino == ino));
-        st.files.remove(&(dev, ino));
+        let removed = st.files.remove(&(dev, ino));
+        drop(st);
+        drop(removed);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -666,15 +679,18 @@ impl PageCache {
             !doomed
         });
         st.dirty_total = st.dirty_total.saturating_sub(dropped_dirty as usize);
+        let mut removed = None;
         if let Some(f) = st.files.get_mut(&(dev, ino)) {
             f.dirty_pages = f.dirty_pages.saturating_sub(dropped_dirty);
             if let Some(p) = f.pending_size {
                 f.pending_size = Some(p.min(new_size));
             }
             if f.dirty_pages == 0 && f.pending_size.is_none() {
-                st.files.remove(&(dev, ino));
+                removed = st.files.remove(&(dev, ino));
             }
         }
+        drop(st);
+        drop(removed);
     }
 
     /// Flushes everything dirty (unmount, global `sync`).
@@ -701,7 +717,9 @@ impl PageCache {
         self.sync_all()?;
         let mut st = self.state.lock();
         st.pages.clear();
-        st.files.clear();
+        let dropped: Vec<FileState> = st.files.drain().map(|(_, f)| f).collect();
+        drop(st);
+        drop(dropped);
         Ok(())
     }
 
@@ -745,7 +763,17 @@ impl PageCache {
         }
         let mut st = self.state.lock();
         st.pages.retain(|k, _| !devs.contains(&k.dev));
-        st.files.retain(|&(d, _), _| !devs.contains(&d));
+        let mut dropped = Vec::new();
+        st.files.retain(|&(d, _), f| {
+            if devs.contains(&d) {
+                dropped.push(f.flush_ref.take());
+                false
+            } else {
+                true
+            }
+        });
+        drop(st);
+        drop(dropped);
         match flush_err {
             Some(e) => Err(e),
             None => Ok(()),

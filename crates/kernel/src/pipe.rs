@@ -42,11 +42,14 @@ impl Pipe {
     pub fn with_capacity(capacity: usize) -> Arc<Pipe> {
         Arc::new(Pipe {
             capacity,
-            state: Mutex::new(PipeState {
-                buf: VecDeque::new(),
-                read_closed: false,
-                write_closed: false,
-            }),
+            state: Mutex::new_class(
+                "kernel.pipe",
+                PipeState {
+                    buf: VecDeque::new(),
+                    read_closed: false,
+                    write_closed: false,
+                },
+            ),
         })
     }
 

@@ -7,9 +7,9 @@
 //! per-pid directories with `status`, `environ`, `cmdline`, `cgroup`,
 //! `mounts` and `ns/<kind>` entries, generated live from kernel state.
 //!
-//! Inode layout: root = 1; `/proc/namespaces` = 2; `/proc/<pid>` =
-//! `pid * 1000`; files inside are `pid * 1000 + k`; `ns/` is
-//! `pid * 1000 + 100` with kind files following.
+//! Inode layout: root = 1; `/proc/namespaces` = 2; `/proc/lockdep` = 3;
+//! `/proc/<pid>` = `pid * 1000`; files inside are `pid * 1000 + k`; `ns/`
+//! is `pid * 1000 + 100` with kind files following.
 //!
 //! `/proc/namespaces` is this simulation's observability hook for
 //! namespace GC: one line per live `(kind, id)` pair with its process
@@ -28,6 +28,7 @@ use std::sync::{Arc, Weak};
 
 const PID_STRIDE: u64 = 1000;
 const I_NAMESPACES: u64 = 2;
+const I_LOCKDEP: u64 = 3;
 const F_STATUS: u64 = 1;
 const F_ENVIRON: u64 = 2;
 const F_CMDLINE: u64 = 3;
@@ -63,6 +64,9 @@ impl ProcFs {
         }
         if v == I_NAMESPACES {
             return ProcNode::NsTable;
+        }
+        if v == I_LOCKDEP {
+            return ProcNode::Lockdep;
         }
         let pid = Pid((v / PID_STRIDE) as u32);
         match v % PID_STRIDE {
@@ -118,6 +122,14 @@ impl ProcFs {
             out.push_str(&format!("{} {} {}\n", kind.proc_name(), id.0, count));
         }
         Ok(out.into_bytes())
+    }
+
+    /// `/proc/lockdep`: the lock-dependency engine's current view — every
+    /// registered class and every observed dependency edge. In builds
+    /// without instrumentation (release, no `lockdep` feature) the report
+    /// is empty, which the header line makes explicit.
+    fn lockdep_content(&self) -> Vec<u8> {
+        lockdep::report().to_string().into_bytes()
     }
 
     fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
@@ -232,6 +244,10 @@ impl ProcFs {
                 let size = self.namespaces_content()?.len() as u64;
                 Ok(self.file_stat(ino, Uid::ROOT, Gid::ROOT, size))
             }
+            ProcNode::Lockdep => {
+                let size = self.lockdep_content().len() as u64;
+                Ok(self.file_stat(ino, Uid::ROOT, Gid::ROOT, size))
+            }
             ProcNode::PidDir(pid) | ProcNode::NsDir(pid) => {
                 if !self.pid_exists(pid) {
                     return Err(Errno::ENOENT);
@@ -275,6 +291,8 @@ enum ProcNode {
     Root,
     /// `/proc/namespaces` — live namespaces and their process refcounts.
     NsTable,
+    /// `/proc/lockdep` — lock classes and observed dependency edges.
+    Lockdep,
     PidDir(Pid),
     NsDir(Pid),
     File(Pid, ProcFile),
@@ -307,6 +325,9 @@ impl Filesystem for ProcFs {
             ProcNode::Root => {
                 if name == "namespaces" {
                     return self.node_stat(Ino(I_NAMESPACES));
+                }
+                if name == "lockdep" {
+                    return self.node_stat(Ino(I_LOCKDEP));
                 }
                 let pid: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
                 if !self.pid_exists(Pid(pid)) {
@@ -416,6 +437,7 @@ impl Filesystem for ProcFs {
         let content = match Self::classify(ino) {
             ProcNode::File(pid, f) => self.content(pid, f)?,
             ProcNode::NsTable => self.namespaces_content()?,
+            ProcNode::Lockdep => self.lockdep_content(),
             _ => return Err(Errno::EISDIR),
         };
         if offset >= content.len() as u64 {
@@ -438,11 +460,18 @@ impl Filesystem for ProcFs {
         match Self::classify(ino) {
             ProcNode::Root => {
                 let kernel = self.kernel()?;
-                let mut out = vec![Dirent {
-                    ino: Ino(I_NAMESPACES),
-                    name: "namespaces".to_string(),
-                    ftype: FileType::Regular,
-                }];
+                let mut out = vec![
+                    Dirent {
+                        ino: Ino(I_NAMESPACES),
+                        name: "namespaces".to_string(),
+                        ftype: FileType::Regular,
+                    },
+                    Dirent {
+                        ino: Ino(I_LOCKDEP),
+                        name: "lockdep".to_string(),
+                        ftype: FileType::Regular,
+                    },
+                ];
                 out.extend(kernel.procs.pids().into_iter().map(|p| Dirent {
                     ino: Ino(p.raw() as u64 * PID_STRIDE),
                     name: p.to_string(),
@@ -639,6 +668,38 @@ mod tests {
         let text = read(&k);
         assert_eq!(text.lines().count(), 7, "{text}");
         assert!(!text.contains(&format!("mnt {}", child_mnt.0)), "{text}");
+    }
+
+    #[test]
+    fn proc_lockdep_exposes_the_dependency_report() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        let fd = k
+            .open(
+                Pid::INIT,
+                "/proc/lockdep",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
+            .unwrap();
+        let mut buf = vec![0u8; 1 << 20];
+        let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+        k.close(Pid::INIT, fd).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]).to_string();
+        assert!(text.starts_with("lock classes:"), "{text}");
+        // With instrumentation on, the kernel's named classes must appear,
+        // and the pid shards must carry their declared sharded shape.
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        {
+            assert!(
+                text.contains(crate::table::lock_class::PROC_SHARD),
+                "{text}"
+            );
+            assert!(text.contains("sharded(ascending)"), "{text}");
+        }
     }
 
     #[test]

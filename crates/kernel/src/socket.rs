@@ -123,8 +123,8 @@ impl SocketListener {
     pub fn new(path: &str) -> Arc<SocketListener> {
         Arc::new(SocketListener {
             path: path.to_string(),
-            backlog: Mutex::new(VecDeque::new()),
-            closed: Mutex::new(false),
+            backlog: Mutex::new_class("kernel.socket.backlog", VecDeque::new()),
+            closed: Mutex::new_class("kernel.socket.closed", false),
         })
     }
 

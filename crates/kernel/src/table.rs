@@ -78,6 +78,56 @@ use std::sync::Arc;
 /// Default number of process-table shards (a power of two).
 pub const DEFAULT_PROC_SHARDS: usize = 16;
 
+/// Lock-class names of the kernel's subsystem locks, in documented rank
+/// order. The names live here, next to the prose discipline above, and
+/// `declare_lock_discipline` feeds the same table to the lockdep
+/// checker — so the comment and the enforcement can never drift apart.
+pub mod lock_class {
+    /// One pid shard of the process table (rank 0; sharded-ascending).
+    pub const PROC_SHARD: &str = "kernel.proc_shard";
+    /// The outer mount-namespace registry (rank 1).
+    pub const MOUNTS_REGISTRY: &str = "kernel.mounts.registry";
+    /// One namespace's inner mount table (rank 2; never two at once).
+    pub const MOUNTS_NS: &str = "kernel.mounts.ns";
+    /// The cgroup tree (leaf rank).
+    pub const CGROUPS: &str = "kernel.cgroups";
+    /// Per-namespace UTS hostnames (leaf rank).
+    pub const HOSTNAMES: &str = "kernel.hostnames";
+    /// Bound unix-socket nodes (leaf rank).
+    pub const SOCKET_NODES: &str = "kernel.socket_nodes";
+    /// Fanotify recorders (leaf rank).
+    pub const FANOTIFY: &str = "kernel.fanotify";
+    /// Namespace refcounts (leaf rank; the rule-4 exception — may nest
+    /// under a process shard, never acquires anything itself).
+    pub const NS_REFS: &str = "kernel.ns_refs";
+}
+
+/// Encodes the module-level lock-ordering discipline into the lockdep
+/// checker: the pid-shard class takes ascending instance ranks only
+/// (rule 1, the `lock_pair` idiom), and the subsystem rank order is
+/// *processes → mount registry → mount ns → leaf subsystems*, with
+/// distinct leaf subsystems forbidden to nest (rules 2–4). Idempotent;
+/// runs on every table construction so no test can boot a kernel that
+/// escapes the discipline.
+pub(crate) fn declare_lock_discipline() {
+    lockdep::set_shape(
+        lock_class::PROC_SHARD,
+        lockdep::Shape::Sharded { ascending: true },
+    );
+    lockdep::ordering(&[
+        &[lock_class::PROC_SHARD],
+        &[lock_class::MOUNTS_REGISTRY],
+        &[lock_class::MOUNTS_NS],
+        &[
+            lock_class::CGROUPS,
+            lock_class::HOSTNAMES,
+            lock_class::SOCKET_NODES,
+            lock_class::FANOTIFY,
+            lock_class::NS_REFS,
+        ],
+    ]);
+}
+
 type Shard = HashMap<Pid, Process>;
 
 /// The pid-sharded process table.
@@ -91,9 +141,15 @@ impl ProcTable {
     /// Creates a table with `shards` shards (rounded up to a power of two)
     /// holding `init` as pid 1.
     pub fn new(shards: usize, init: Process) -> ProcTable {
+        declare_lock_discipline();
         let n = shards.max(1).next_power_of_two();
         let table = ProcTable {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            // The shard index doubles as the lockdep instance rank:
+            // `lock_pair`'s ascending-index order is what the checker
+            // verifies on every nested shard acquisition.
+            shards: (0..n)
+                .map(|i| Mutex::new_ranked(lock_class::PROC_SHARD, i as u32, HashMap::new()))
+                .collect(),
             mask: n - 1,
             next_pid: AtomicU32::new(2),
         };
@@ -214,9 +270,12 @@ impl MountTable {
     /// Creates the registry holding namespace 1's table.
     pub fn new(root: MountNs) -> MountTable {
         let mut m = HashMap::new();
-        m.insert(root.id, Arc::new(RwLock::new(root)));
+        m.insert(
+            root.id,
+            Arc::new(RwLock::new_class(lock_class::MOUNTS_NS, root)),
+        );
         MountTable {
-            namespaces: RwLock::new(m),
+            namespaces: RwLock::new_class(lock_class::MOUNTS_REGISTRY, m),
             next_mount: AtomicU64::new(2),
         }
     }
@@ -228,9 +287,9 @@ impl MountTable {
 
     /// Registers a new namespace's mount table.
     pub fn insert(&self, ns: MountNs) {
-        self.namespaces
-            .write()
-            .insert(ns.id, Arc::new(RwLock::new(ns)));
+        let id = ns.id;
+        let entry = Arc::new(RwLock::new_class(lock_class::MOUNTS_NS, ns));
+        self.namespaces.write().insert(id, entry);
     }
 
     /// Deregisters a namespace, returning its table so the caller can drop
@@ -309,7 +368,7 @@ impl NsRefs {
     /// Creates the table holding one reference per kind for `init`'s set.
     pub fn new(init: &NamespaceSet) -> NsRefs {
         let refs = NsRefs {
-            counts: Mutex::new(HashMap::new()),
+            counts: Mutex::new_class(lock_class::NS_REFS, HashMap::new()),
         };
         refs.retain_set(init);
         refs
@@ -511,6 +570,36 @@ mod tests {
         assert!(pair.get(Pid(2)).is_some());
         drop(pair);
         assert_eq!(t.pids(), vec![Pid(1), Pid(2), Pid(5)]);
+    }
+
+    /// Rule 1 enforced: the shard class is registered `Sharded { ascending:
+    /// true }`, so taking a lower-indexed shard while holding a higher one
+    /// — the mirror image of `lock_pair` — must panic deterministically.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    fn descending_shard_acquisition_panics() {
+        let err = std::thread::spawn(|| {
+            let t = ProcTable::new(4, proc(Pid(1)));
+            let _hi = t.shards[2].lock();
+            let _lo = t.shards[0].lock();
+        })
+        .join()
+        .expect_err("descending shard order must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a message");
+        assert!(msg.contains("lockdep:"), "{msg}");
+        assert!(msg.contains("strictly ascending"), "{msg}");
+        assert!(msg.contains(lock_class::PROC_SHARD), "{msg}");
+    }
+
+    /// The ascending direction — `lock_pair`'s order — stays allowed.
+    #[test]
+    fn ascending_shard_acquisition_is_allowed() {
+        let t = ProcTable::new(4, proc(Pid(1)));
+        let _lo = t.shards[0].lock();
+        let _hi = t.shards[2].lock();
     }
 
     #[test]

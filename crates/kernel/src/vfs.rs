@@ -386,7 +386,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind,
                     flags,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: flags.contains(OpenFlags::CLOEXEC),
             }))
@@ -1539,7 +1539,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Listener(listener.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             }))
@@ -1572,7 +1572,7 @@ impl Kernel {
                 file: Arc::new(OpenFile {
                     kind: FileKind::Socket(end.clone()),
                     flags: OpenFlags::RDWR,
-                    offset: Mutex::new(0),
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
                 }),
                 cloexec: false,
             }))

@@ -23,8 +23,9 @@ use cntr_fs::memfs::memfs;
 use cntr_kernel::kernel::KernelConfig;
 use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
 use cntr_types::{DevId, Mode, OpenFlags, Pid, SimClock};
+use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 const THREADS: usize = 8;
 const CONTAINERS: usize = 64;
@@ -41,7 +42,7 @@ impl Harness {
     fn fork(&self, parent: Pid) -> Pid {
         let pid = self.kernel.fork(parent).expect("fork");
         assert!(
-            self.all_pids.lock().unwrap().insert(pid),
+            self.all_pids.lock().insert(pid),
             "duplicate pid {pid} handed out"
         );
         pid
@@ -91,7 +92,7 @@ fn stress_fork_exec_attach_umount_across_containers() {
     let harness = Arc::new(Harness {
         kernel: kernel.clone(),
         clock: clock.clone(),
-        all_pids: Mutex::new(HashSet::new()),
+        all_pids: Mutex::new_class("kernel.test.all_pids", HashSet::new()),
     });
 
     // 64 containers: own mount + UTS namespaces, private propagation, a
@@ -236,7 +237,7 @@ fn stress_fork_exec_attach_umount_across_containers() {
     assert_eq!(kernel.gethostname(Pid::INIT).unwrap(), "host");
 
     // Total forks: setup + 2 per container-round, all unique.
-    let total = harness.all_pids.lock().unwrap().len();
+    let total = harness.all_pids.lock().len();
     assert_eq!(total, CONTAINERS + CONTAINERS * ROUNDS * 2);
 
     // While the containers live, their namespaces do: 64 mount namespaces

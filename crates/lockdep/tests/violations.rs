@@ -1,0 +1,212 @@
+//! Deliberate discipline violations must die deterministically, naming the
+//! classes involved — without the bad interleaving ever having to deadlock.
+//!
+//! Each test uses its own class names: the dependency graph is global to
+//! the test process, and these tests poison it on purpose.
+
+use lockdep::{LockKind, Shape};
+use std::panic::Location;
+use std::sync::{Arc, Barrier};
+
+#[track_caller]
+fn here() -> &'static Location<'static> {
+    Location::caller()
+}
+
+/// Runs `f` on a fresh thread and returns the panic message it died with.
+fn panic_message_of(f: impl FnOnce() + Send + 'static) -> String {
+    let err = std::thread::Builder::new()
+        .name("lockdep-victim".into())
+        .spawn(f)
+        .unwrap()
+        .join()
+        .expect_err("the violation must panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string")
+}
+
+/// The headline check: thread 1 takes A then B and *exits cleanly*; thread
+/// 2 then takes B and A. Nothing ever blocks — the cycle is caught from
+/// the recorded class graph, not from an actual deadlock, so the test is
+/// timing-independent.
+#[test]
+fn abba_inversion_panics_deterministically() {
+    let a = lockdep::register(Some("test.abba.a"), here());
+    let b = lockdep::register(Some("test.abba.b"), here());
+
+    let t1 = std::thread::spawn(move || {
+        lockdep::acquire(a, 0, LockKind::Mutex, here());
+        lockdep::acquire(b, 0, LockKind::Mutex, here());
+        lockdep::release(b, 0);
+        lockdep::release(a, 0);
+    });
+    t1.join().unwrap(); // thread 1 is *done* before thread 2 starts
+
+    let msg = panic_message_of(move || {
+        lockdep::acquire(b, 0, LockKind::Mutex, here());
+        lockdep::acquire(a, 0, LockKind::Mutex, here()); // closes the cycle
+    });
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    assert!(
+        msg.contains("test.abba.a") && msg.contains("test.abba.b"),
+        "cycle report must name both classes: {msg}"
+    );
+}
+
+/// Same inversion through real `parking_lot` shim locks, concurrently:
+/// both threads run, but the checker fires before the second lock blocks,
+/// so the test can never hang even when the interleaving is adversarial.
+#[test]
+fn abba_through_parking_lot_locks() {
+    let a = Arc::new(parking_lot::Mutex::new_class("test.abba2.a", 0u32));
+    let b = Arc::new(parking_lot::Mutex::new_class("test.abba2.b", 0u32));
+    let gate = Arc::new(Barrier::new(2));
+
+    let t1 = {
+        let (a, b, gate) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&gate));
+        std::thread::spawn(move || {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop((ga, gb));
+            gate.wait(); // edge a→b is now on record
+        })
+    };
+    gate.wait();
+    t1.join().unwrap();
+
+    let msg = panic_message_of(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    assert!(
+        msg.contains("test.abba2.a") && msg.contains("test.abba2.b"),
+        "got: {msg}"
+    );
+}
+
+#[test]
+fn same_class_double_lock_panics() {
+    let c = lockdep::register(Some("test.double.plain"), here());
+    let msg = panic_message_of(move || {
+        lockdep::acquire(c, 0, LockKind::Mutex, here());
+        lockdep::acquire(c, 0, LockKind::Mutex, here());
+    });
+    assert!(msg.contains("same-class double acquisition"), "got: {msg}");
+    assert!(msg.contains("test.double.plain"), "got: {msg}");
+}
+
+#[test]
+fn sharded_class_allows_ascending_rejects_descending() {
+    lockdep::set_shape("test.shard.ranked", Shape::Sharded { ascending: true });
+    let c = lockdep::register(Some("test.shard.ranked"), here());
+
+    // Ascending ranks: fine (the `lock_pair` idiom).
+    lockdep::acquire(c, 2, LockKind::Mutex, here());
+    lockdep::acquire(c, 5, LockKind::Mutex, here());
+    lockdep::release(c, 5);
+    lockdep::release(c, 2);
+
+    // Descending: instant panic.
+    let msg = panic_message_of(move || {
+        lockdep::acquire(c, 5, LockKind::Mutex, here());
+        lockdep::acquire(c, 2, LockKind::Mutex, here());
+    });
+    assert!(msg.contains("strictly ascending"), "got: {msg}");
+    // Equal ranks are a double-lock too.
+    let msg = panic_message_of(move || {
+        lockdep::acquire(c, 5, LockKind::Mutex, here());
+        lockdep::acquire(c, 5, LockKind::Mutex, here());
+    });
+    assert!(msg.contains("test.shard.ranked"), "got: {msg}");
+}
+
+#[test]
+fn recursive_class_permits_reacquisition() {
+    lockdep::set_shape("test.recursive.leaf", Shape::Recursive);
+    let c = lockdep::register(Some("test.recursive.leaf"), here());
+    lockdep::acquire(c, 0, LockKind::Mutex, here());
+    lockdep::acquire(c, 0, LockKind::Mutex, here());
+    lockdep::release(c, 0);
+    lockdep::release(c, 0);
+    assert!(lockdep::held_classes().is_empty());
+}
+
+#[test]
+fn declared_ordering_rejects_reverse_and_peer_nesting() {
+    lockdep::ordering(&[
+        &["test.order.outer"],
+        &["test.order.mid"],
+        &["test.order.leaf_x", "test.order.leaf_y"],
+    ]);
+    let outer = lockdep::register(Some("test.order.outer"), here());
+    let mid = lockdep::register(Some("test.order.mid"), here());
+    let x = lockdep::register(Some("test.order.leaf_x"), here());
+    let y = lockdep::register(Some("test.order.leaf_y"), here());
+
+    // Documented order: fine.
+    lockdep::acquire(outer, 0, LockKind::Mutex, here());
+    lockdep::acquire(mid, 0, LockKind::Write, here());
+    lockdep::acquire(x, 0, LockKind::Mutex, here());
+    lockdep::release(x, 0);
+    lockdep::release(mid, 0);
+    lockdep::release(outer, 0);
+
+    // Reverse order: panics on the *first* offence, no deadlock needed.
+    let msg = panic_message_of(move || {
+        lockdep::acquire(mid, 0, LockKind::Read, here());
+        lockdep::acquire(outer, 0, LockKind::Mutex, here());
+    });
+    assert!(msg.contains("rank-order violation"), "got: {msg}");
+
+    // Two leaves of the same group must never nest.
+    let msg = panic_message_of(move || {
+        lockdep::acquire(x, 0, LockKind::Mutex, here());
+        lockdep::acquire(y, 0, LockKind::Mutex, here());
+    });
+    assert!(msg.contains("peer-subsystem nesting"), "got: {msg}");
+}
+
+#[test]
+fn blocking_checkpoint_flags_held_locks() {
+    let c = lockdep::register(Some("test.checkpoint.state"), here());
+
+    // Nothing held: the checkpoint is a no-op.
+    lockdep::assert_no_locks_held_except(&[]);
+
+    // Held but explicitly allowed: still fine.
+    lockdep::acquire(c, 0, LockKind::Mutex, here());
+    lockdep::assert_no_locks_held_except(&["test.checkpoint.state"]);
+    lockdep::release(c, 0);
+
+    // Held and not allowed: deterministic panic naming the class.
+    let msg = panic_message_of(move || {
+        lockdep::acquire(c, 0, LockKind::Mutex, here());
+        lockdep::assert_no_locks_held_except(&[]);
+    });
+    assert!(msg.contains("blocking-context violation"), "got: {msg}");
+    assert!(msg.contains("test.checkpoint.state"), "got: {msg}");
+}
+
+/// A violation panic must not wedge the engine: the victim thread's guards
+/// unwind cleanly and other threads keep validating.
+#[test]
+fn engine_survives_a_violation() {
+    let c = lockdep::register(Some("test.survive.a"), here());
+    let d = lockdep::register(Some("test.survive.b"), here());
+    let _ = panic_message_of(move || {
+        lockdep::acquire(c, 0, LockKind::Mutex, here());
+        lockdep::acquire(c, 0, LockKind::Mutex, here());
+    });
+    // The engine still works on this thread afterwards.
+    lockdep::acquire(c, 0, LockKind::Mutex, here());
+    lockdep::acquire(d, 0, LockKind::Mutex, here());
+    lockdep::release(d, 0);
+    lockdep::release(c, 0);
+    let rep = lockdep::report();
+    assert!(rep
+        .edges
+        .iter()
+        .any(|e| e.from == "test.survive.a" && e.to == "test.survive.b"));
+}

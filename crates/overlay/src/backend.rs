@@ -43,7 +43,7 @@ impl BlobBackend {
     pub fn new(store: Arc<BlobStore>) -> BlobBackend {
         BlobBackend {
             store,
-            held: Mutex::new(HashMap::new()),
+            held: Mutex::new_class("overlay.backend.held", HashMap::new()),
         }
     }
 

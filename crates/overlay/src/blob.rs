@@ -60,9 +60,16 @@ struct BlobState {
 /// Shared (via `Arc`) by every blob-backed filesystem of a machine: all
 /// image layers, all container upper layers, and every copy-up dedup
 /// against each other here.
-#[derive(Default)]
 pub struct BlobStore {
     state: Mutex<BlobState>,
+}
+
+impl Default for BlobStore {
+    fn default() -> BlobStore {
+        BlobStore {
+            state: Mutex::new_class("overlay.blob.state", BlobState::default()),
+        }
+    }
 }
 
 /// Aggregate statistics (the dedup numbers the benches report).

@@ -263,17 +263,20 @@ impl OverlayFs {
             dev,
             upper,
             lowers,
-            state: Mutex::new(OvlState {
-                nodes,
-                by_real,
-                handles: HashMap::new(),
-                next_ino: 2,
-                next_fh: 1,
-                accessed: BTreeSet::new(),
-                dcache: HashMap::new(),
-                dcache_len: 0,
-                dir_cache: HashMap::new(),
-            }),
+            state: Mutex::new_class(
+                "overlay.state",
+                OvlState {
+                    nodes,
+                    by_real,
+                    handles: HashMap::new(),
+                    next_ino: 2,
+                    next_fh: 1,
+                    accessed: BTreeSet::new(),
+                    dcache: HashMap::new(),
+                    dcache_len: 0,
+                    dir_cache: HashMap::new(),
+                },
+            ),
             track_access: AtomicBool::new(false),
         })
     }

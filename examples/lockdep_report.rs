@@ -1,0 +1,36 @@
+//! Prints the lock-dependency graph a representative workload establishes.
+//!
+//! ```text
+//! cargo run --release --features lockdep --example lockdep_report
+//! ```
+//!
+//! CI's stress job records this output as a build artifact, so a PR that
+//! grows the class list or the edge set shows the delta in review. Without
+//! instrumentation (release, no `lockdep` feature) the report is empty but
+//! the header still prints, so the artifact is always well-formed.
+
+use cntr::prelude::*;
+
+fn main() {
+    // Exercise every subsystem once: boot, image pull, container start,
+    // attach, shell traffic over CntrFS, detach, teardown.
+    let kernel = boot_host(SimClock::new());
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "slim")
+            .layer("app")
+            .binary("/usr/local/bin/app", 1_000_000, &[])
+            .entrypoint("/usr/local/bin/app")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let container = docker.run("probe", "app:slim").unwrap();
+
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(container.pid, CntrOptions::default()).unwrap();
+    session.run("ls /var/lib/cntr/usr/local/bin");
+    session.detach().unwrap();
+    docker.stop("probe").unwrap();
+
+    print!("{}", cntr::lockdep::report());
+}

@@ -1,25 +1,163 @@
 //! Offline subset of `parking_lot`: non-poisoning `Mutex` and `RwLock`
 //! wrappers over `std::sync`. Only the surface this workspace uses.
+//!
+//! # Lockdep instrumentation
+//!
+//! Under `debug_assertions` (or the `lockdep` cargo feature, for release
+//! stress runs) every lock participates in the workspace-wide
+//! lock-dependency validator (`crates/lockdep`): each lock belongs to a
+//! *class* — named explicitly via [`Mutex::new_class`] /
+//! [`RwLock::new_class`], ranked within a sharded family via
+//! [`Mutex::new_ranked`], or derived automatically from the construction
+//! site for plain [`Mutex::new`] — and every acquisition is checked
+//! against the global class-dependency graph *before* blocking, so lock
+//! inversions, double-locks and rank-order violations panic
+//! deterministically instead of deadlocking some unlucky run. See the
+//! `lockdep` crate docs for the checks.
+//!
+//! In release builds without the feature, the class plumbing compiles
+//! away entirely: the types are plain newtypes over `std::sync` with no
+//! extra fields and no extra code on the lock path.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(any(debug_assertions, feature = "lockdep"))]
+mod dep {
+    use std::panic::Location;
+    use std::ptr;
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// The lockdep identity of one lock instance: its class (resolved
+    /// lazily, so construction stays `const`) and its rank within a
+    /// sharded class family.
+    pub(crate) struct ClassCell {
+        name: Option<&'static str>,
+        rank: u32,
+        loc: &'static Location<'static>,
+        resolved: AtomicPtr<lockdep::LockClass>,
+    }
+
+    impl ClassCell {
+        pub(crate) const fn new(
+            name: Option<&'static str>,
+            rank: u32,
+            loc: &'static Location<'static>,
+        ) -> ClassCell {
+            ClassCell {
+                name,
+                rank,
+                loc,
+                resolved: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        pub(crate) fn name(&self) -> Option<&'static str> {
+            self.name
+        }
+
+        fn class(&self) -> &'static lockdep::LockClass {
+            let p = self.resolved.load(Ordering::Acquire);
+            if !p.is_null() {
+                // The pointer only ever transitions null → one leaked
+                // &'static LockClass, so this deref is always valid.
+                return unsafe { &*p };
+            }
+            let class = lockdep::register(self.name, self.loc);
+            self.resolved
+                .store(class as *const _ as *mut _, Ordering::Release);
+            class
+        }
+
+        /// Validates the acquisition and returns the token whose drop
+        /// pops it off the thread's held-lock stack.
+        pub(crate) fn enter(
+            &self,
+            kind: lockdep::LockKind,
+            site: &'static Location<'static>,
+        ) -> Held {
+            let class = self.class();
+            lockdep::acquire(class, self.rank, kind, site);
+            Held {
+                class,
+                rank: self.rank,
+            }
+        }
+    }
+
+    /// RAII held-stack entry (one per live guard).
+    pub(crate) struct Held {
+        class: &'static lockdep::LockClass,
+        rank: u32,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            lockdep::release(self.class, self.rank);
+        }
+    }
+}
 
 /// A mutual exclusion primitive. Unlike `std::sync::Mutex`, `lock()` does
 /// not return a poison `Result`: a panic while holding the lock does not
 /// poison it for later holders, matching `parking_lot` semantics.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    class: dep::ClassCell,
+    inner: sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new mutex. Its lockdep class is derived from the
+    /// construction site; prefer [`Mutex::new_class`] for locks that are
+    /// part of a documented ordering discipline.
+    #[track_caller]
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            class: dep::ClassCell::new(None, 0, std::panic::Location::caller()),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex in the named lockdep class.
+    #[track_caller]
+    pub const fn new_class(name: &'static str, value: T) -> Mutex<T> {
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        let _ = name;
+        Mutex {
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            class: dep::ClassCell::new(Some(name), 0, std::panic::Location::caller()),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex in the named lockdep class with an instance rank:
+    /// for classes registered `Shape::Sharded { ascending: true }`, nested
+    /// same-class acquisitions must take strictly ascending ranks (the
+    /// pid-shard `lock_pair` idiom).
+    #[track_caller]
+    pub const fn new_ranked(name: &'static str, rank: u32, value: T) -> Mutex<T> {
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        let _ = (name, rank);
+        Mutex {
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            class: dep::ClassCell::new(Some(name), rank, std::panic::Location::caller()),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -27,51 +165,146 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until it is available.
+    /// Acquires the lock, blocking until it is available. Under lockdep
+    /// the acquisition is validated *before* blocking, so an ordering
+    /// violation panics instead of deadlocking.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        let held = self
+            .class
+            .enter(lockdep::LockKind::Mutex, std::panic::Location::caller());
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            _held: held,
         }
     }
 
-    /// Attempts to acquire the lock without blocking.
+    /// Attempts to acquire the lock without blocking. A failed `try_lock`
+    /// cannot deadlock, but a *successful* one still participates in the
+    /// held-lock stack and dependency graph like any acquisition.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            _held: self
+                .class
+                .enter(lockdep::LockKind::Mutex, std::panic::Location::caller()),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
     }
 }
 
+impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Mutex");
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        if let Some(name) = self.class.name() {
+            s.field("class", &name);
+        }
+        s.field("data", &&self.inner).finish()
+    }
+}
+
 impl<T> From<T> for Mutex<T> {
+    #[track_caller]
     fn from(value: T) -> Mutex<T> {
         Mutex::new(value)
     }
 }
 
+/// RAII guard of [`Mutex::lock`]; releasing it pops the lockdep held-lock
+/// stack entry.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    _held: dep::Held,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: fmt::Display + ?Sized> fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
+
 /// A reader-writer lock with the same non-poisoning behaviour as [`Mutex`].
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    class: dep::ClassCell,
+    inner: sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new rwlock.
+    /// Creates a new rwlock (auto lockdep class from the construction
+    /// site; prefer [`RwLock::new_class`] for disciplined locks).
+    #[track_caller]
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            class: dep::ClassCell::new(None, 0, std::panic::Location::caller()),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a rwlock in the named lockdep class.
+    #[track_caller]
+    pub const fn new_class(name: &'static str, value: T) -> RwLock<T> {
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        let _ = name;
+        RwLock {
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            class: dep::ClassCell::new(Some(name), 0, std::panic::Location::caller()),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the rwlock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -80,19 +313,108 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        let held = self
+            .class
+            .enter(lockdep::LockKind::Read, std::panic::Location::caller());
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            _held: held,
         }
     }
 
     /// Acquires exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        let held = self
+            .class
+            .enter(lockdep::LockKind::Write, std::panic::Location::caller());
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lockdep"))]
+            _held: held,
         }
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("RwLock");
+        #[cfg(any(debug_assertions, feature = "lockdep"))]
+        if let Some(name) = self.class.name() {
+            s.field("class", &name);
+        }
+        s.field("data", &&self.inner).finish()
+    }
+}
+
+/// RAII guard of [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    _held: dep::Held,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: fmt::Display + ?Sized> fmt::Display for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
+
+/// RAII guard of [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lockdep"))]
+    _held: dep::Held,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: fmt::Display + ?Sized> fmt::Display for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
     }
 }
 
@@ -127,5 +449,32 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn try_lock_returns_none_when_held() {
+        let m = Mutex::new_class("parking_lot.test.try", 0);
+        let g = m.lock();
+        // Contended try_lock from another thread: must not block or panic.
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(m.try_lock().is_none()));
+        });
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn named_classes_show_in_debug_and_report() {
+        let m = Mutex::new_class("parking_lot.test.named", 7);
+        let _g = m.lock();
+        let dbg = format!("{m:?}");
+        // The class only renders in instrumented builds.
+        if cfg!(any(debug_assertions, feature = "lockdep")) {
+            assert!(dbg.contains("parking_lot.test.named"), "got {dbg}");
+            assert!(lockdep::report()
+                .classes
+                .iter()
+                .any(|c| c.name == "parking_lot.test.named"));
+        }
     }
 }

@@ -62,6 +62,7 @@ pub use cntr_phoronix as phoronix;
 pub use cntr_slim as slim;
 pub use cntr_types as types;
 pub use cntr_xfstests as xfstests;
+pub use lockdep;
 
 /// The common imports for CNTR applications.
 pub mod prelude {

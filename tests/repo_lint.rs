@@ -1,0 +1,483 @@
+//! Static companion to the runtime lockdep checker (`crates/lockdep`):
+//! three textual passes over the workspace sources that reject lock usage
+//! the runtime checker could only catch if a test happened to drive the
+//! path. Both checkers encode the same discipline — the rank table in
+//! `crates/kernel/src/table.rs` — so a violation caught here names the
+//! same classes a runtime panic would.
+//!
+//! 1. No direct `std::sync::{Mutex, RwLock}` outside `shims/` and
+//!    `crates/lockdep`: every lock must go through the `parking_lot` shim
+//!    so it participates in dependency tracking.
+//! 2. No nested subsystem-lock acquisition in `crates/kernel` against the
+//!    declared rank order. This is a heuristic line scanner — it tracks
+//!    `let`-bound guards, closure-held shard access, and `if let`/`match`
+//!    scrutinee temporaries (which live to the end of the block in edition
+//!    2021) by brace depth. False positives are suppressed via
+//!    `lockdep-allow.toml`, where every entry must carry a justification.
+//! 3. No `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` in
+//!    non-test code: shim guards are infallible, so a guard unwrap means a
+//!    std lock snuck in (or poison handling is being skipped).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strips string literals and `//` comments so braces and lock patterns in
+/// text never confuse the scanner. (Good enough for this codebase: no brace
+/// or quote lives in a char literal.)
+fn strip_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// True once the scanner reaches the file's `#[cfg(test)]` module (test
+/// modules sit at the end of their file in this workspace).
+fn is_test_marker(code: &str) -> bool {
+    code.trim_start().starts_with("#[cfg(test)]")
+}
+
+struct Violation {
+    file: String,
+    line: usize,
+    text: String,
+    message: String,
+}
+
+impl Violation {
+    fn render(&self) -> String {
+        format!(
+            "{}:{}: {}\n    {}",
+            self.file,
+            self.line,
+            self.message,
+            self.text.trim()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// lockdep-allow.toml
+// ---------------------------------------------------------------------
+
+struct AllowEntry {
+    file: String,
+    contains: String,
+    justification: String,
+}
+
+/// Minimal hand parser for the `[[allow]]` entries (the build environment
+/// has no toml crate; the format is deliberately flat).
+fn load_allowlist(root: &Path) -> Vec<AllowEntry> {
+    let path = root.join("lockdep-allow.toml");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry {
+                file: String::new(),
+                contains: String::new(),
+                justification: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            panic!("lockdep-allow.toml:{}: unparseable line: {line}", no + 1);
+        };
+        let entry = entries
+            .last_mut()
+            .expect("key outside an [[allow]] section");
+        let value = value.trim().trim_matches('"').to_string();
+        match key.trim() {
+            "file" => entry.file = value,
+            "contains" => entry.contains = value,
+            "justification" => entry.justification = value,
+            other => panic!("lockdep-allow.toml:{}: unknown key {other}", no + 1),
+        }
+    }
+    for e in &entries {
+        assert!(
+            !e.file.is_empty() && !e.contains.is_empty(),
+            "lockdep-allow.toml: entry for {:?} must set file and contains",
+            e.file
+        );
+        assert!(
+            e.justification.len() > 20,
+            "lockdep-allow.toml: entry for {} needs a real justification, got {:?}",
+            e.file,
+            e.justification
+        );
+    }
+    entries
+}
+
+fn allowed(allow: &[AllowEntry], file: &str, text: &str) -> bool {
+    allow
+        .iter()
+        .any(|e| file.ends_with(&e.file) && text.contains(&e.contains))
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: std::sync lock ban
+// ---------------------------------------------------------------------
+
+fn check_std_sync_ban(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    rust_files(&root.join("tests"), &mut files);
+    rust_files(&root.join("examples"), &mut files);
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        // The lockdep engine itself must not use shim locks (it would
+        // instrument its own registry into infinite recursion).
+        if rel.starts_with("crates/lockdep") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (no, raw) in text.lines().enumerate() {
+            let code = strip_code(raw);
+            let hit = code.contains("std::sync::Mutex")
+                || code.contains("std::sync::RwLock")
+                || (code.contains("use std::sync::")
+                    && (code.contains("Mutex") || code.contains("RwLock")));
+            if hit {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: no + 1,
+                    text: raw.to_string(),
+                    message: "direct std::sync lock — use the parking_lot shim so the lock \
+                              participates in lockdep"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: kernel subsystem-lock nesting
+// ---------------------------------------------------------------------
+
+/// How an acquisition pattern holds its lock — this decides which lines a
+/// guard survives past, so getting it wrong either misses real nestings or
+/// flags phantom ones.
+#[derive(Clone, Copy, PartialEq)]
+enum Acq {
+    /// Returns a guard object: held past the line via a `let` binding, or
+    /// via an `if let`/`match` scrutinee temporary (edition 2021 keeps
+    /// those alive to the end of the block, even when chained).
+    Guard,
+    /// Closure-holding accessor (`with_proc(pid, |p| ...)`): the lock
+    /// lives exactly for the closure body. A `let` or scrutinee binds the
+    /// closure's *result*, not the lock, so the only way the lock outlives
+    /// the line is a closure body spanning lines.
+    Closure,
+    /// Locks internally and returns plain data: participates in conflict
+    /// checks at the call site but is never held afterwards.
+    Internal,
+}
+
+/// `(pattern, class, group, kind)` — mirrors `declare_lock_discipline()`
+/// in `crates/kernel/src/table.rs`. Group numbers are the declared rank
+/// groups: acquiring a lower-or-equal group while holding a higher one is
+/// what the runtime checker rejects.
+const KERNEL_LOCKS: &[(&str, &str, u32, Acq)] = &[
+    ("lock_shard_of(", "kernel.proc_shard", 0, Acq::Guard),
+    ("lock_pair(", "kernel.proc_shard", 0, Acq::Guard),
+    ("procs.with(", "kernel.proc_shard", 0, Acq::Closure),
+    ("procs.with_mut(", "kernel.proc_shard", 0, Acq::Closure),
+    ("with_proc(", "kernel.proc_shard", 0, Acq::Closure),
+    ("with_proc_mut(", "kernel.proc_shard", 0, Acq::Closure),
+    ("shards[", "kernel.proc_shard", 0, Acq::Guard),
+    ("namespaces.read(", "kernel.mounts.registry", 1, Acq::Guard),
+    ("namespaces.write(", "kernel.mounts.registry", 1, Acq::Guard),
+    ("ns.read()", "kernel.mounts.ns", 2, Acq::Guard),
+    ("ns.write()", "kernel.mounts.ns", 2, Acq::Guard),
+    ("table.read()", "kernel.mounts.ns", 2, Acq::Guard),
+    ("with_read(", "kernel.mounts.ns", 2, Acq::Closure),
+    ("with_write(", "kernel.mounts.ns", 2, Acq::Closure),
+    ("cgroups.lock(", "kernel.cgroups", 3, Acq::Guard),
+    ("hostnames.read(", "kernel.hostnames", 3, Acq::Guard),
+    ("hostnames.write(", "kernel.hostnames", 3, Acq::Guard),
+    ("socket_nodes.lock(", "kernel.socket_nodes", 3, Acq::Guard),
+    ("fanotify.lock(", "kernel.fanotify", 3, Acq::Guard),
+    ("ns_refs.", "kernel.ns_refs", 3, Acq::Internal),
+    ("counts.lock(", "kernel.ns_refs", 3, Acq::Guard),
+];
+
+struct LiveGuard {
+    class: &'static str,
+    group: u32,
+    depth: i32,
+    binding: Option<String>,
+    line: usize,
+}
+
+fn acquisitions(code: &str) -> Vec<(&'static str, &'static str, u32, Acq)> {
+    KERNEL_LOCKS
+        .iter()
+        .filter(|(pat, ..)| code.contains(pat))
+        .copied()
+        .collect()
+}
+
+/// Whether the acquisition call at `pat` in `code` is immediately chained
+/// into another call (`.lock().attach(...)`): the guard is then a statement
+/// temporary, released at the semicolon — a `let` on such a line binds the
+/// chained call's result, not the guard.
+fn is_chained(code: &str, pat: &str) -> bool {
+    let Some(pos) = code.find(pat) else {
+        return false;
+    };
+    let rest = &code[pos + pat.len()..];
+    // Walk to the close of the acquisition call, then look for a `.`.
+    let mut depth = if pat.ends_with('(') { 1 } else { 0 };
+    let mut chars = rest.chars().peekable();
+    while depth > 0 {
+        match chars.next() {
+            Some('(') => depth += 1,
+            Some(')') => depth -= 1,
+            Some(_) => {}
+            None => return false, // call spans lines; assume not chained
+        }
+    }
+    chars.peek() == Some(&'.')
+}
+
+/// Whether the acquisition on this line produces a lock that outlives the
+/// line, and under what binding name. The rules depend on the pattern's
+/// [`Acq`] kind — see its variants for the reasoning.
+fn held_binding(code: &str, pat: &str, kind: Acq) -> Option<Option<String>> {
+    match kind {
+        Acq::Internal => None,
+        Acq::Closure => {
+            // Held only while the closure body runs: a body spanning lines
+            // (the line leaves a brace open) needs tracking; a one-line
+            // closure acquires and releases within the statement.
+            (code.contains('|') && code.matches('{').count() > code.matches('}').count())
+                .then_some(None)
+        }
+        Acq::Guard => {
+            let trimmed = code.trim_start();
+            if trimmed.starts_with("if let") || trimmed.starts_with("while let") {
+                return Some(None);
+            }
+            if trimmed.starts_with("match ") || trimmed.contains("= match ") {
+                return Some(None);
+            }
+            if let Some(rest) = trimmed.strip_prefix("let ") {
+                if is_chained(code, pat) {
+                    return None;
+                }
+                let name = rest
+                    .trim_start_matches("mut ")
+                    .split([' ', ':', '='])
+                    .next()
+                    .unwrap_or("")
+                    .to_string();
+                return Some(Some(name));
+            }
+            None
+        }
+    }
+}
+
+fn check_kernel_nesting(root: &Path, allow: &[AllowEntry], violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates/kernel/src"), &mut files);
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut depth: i32 = 0;
+        let mut guards: Vec<LiveGuard> = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let code = strip_code(raw);
+            if is_test_marker(&code) {
+                break; // test modules end the file in this workspace
+            }
+            // Explicit early release.
+            if let Some(rest) = code.trim_start().strip_prefix("drop(") {
+                let name = rest.trim_end().trim_end_matches([')', ';']);
+                guards.retain(|g| g.binding.as_deref() != Some(name));
+            }
+            let acquired = acquisitions(&code);
+            for &(_, class, group, _) in &acquired {
+                for g in &guards {
+                    let conflict = if group < g.group {
+                        Some("reverse rank order")
+                    } else if group == g.group {
+                        Some("peer/same-group nesting")
+                    } else {
+                        None
+                    };
+                    if let Some(kind) = conflict {
+                        if !allowed(allow, &rel, raw) {
+                            violations.push(Violation {
+                                file: rel.clone(),
+                                line: no + 1,
+                                text: raw.to_string(),
+                                message: format!(
+                                    "acquires {class} while {held} is held ({kind}) — \
+                                     see the rank table in crates/kernel/src/table.rs; \
+                                     if this nesting is sound, add a justified entry to \
+                                     lockdep-allow.toml",
+                                    held = format_args!("{} (held since line {})", g.class, g.line)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            let opens = code.matches('{').count() as i32;
+            let closes = code.matches('}').count() as i32;
+            for (pat, class, group, kind) in acquired {
+                if allowed(allow, &rel, raw) {
+                    continue;
+                }
+                if let Some(binding) = held_binding(&code, pat, kind) {
+                    guards.push(LiveGuard {
+                        class,
+                        group,
+                        // A guard taken on a block-opening line lives in
+                        // the block it opens.
+                        depth: depth + opens.min(1),
+                        binding,
+                        line: no + 1,
+                    });
+                }
+            }
+            depth += opens - closes;
+            guards.retain(|g| g.depth <= depth);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: guard unwraps
+// ---------------------------------------------------------------------
+
+fn check_guard_unwraps(root: &Path, violations: &mut Vec<Violation>) {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    rust_files(&root.join("examples"), &mut files);
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        // Shims and the lockdep engine are the sanctioned homes of raw std
+        // locks (rule 1), so their guard handling is their own business.
+        if rel.starts_with("crates/lockdep") || rel.contains("/tests/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (no, raw) in text.lines().enumerate() {
+            let code = strip_code(raw);
+            if is_test_marker(&code) {
+                break;
+            }
+            if code.contains(".lock().unwrap()")
+                || code.contains(".read().unwrap()")
+                || code.contains(".write().unwrap()")
+            {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: no + 1,
+                    text: raw.to_string(),
+                    message: "unwrap on a lock guard — shim guards are infallible; a \
+                              Result here means a std lock bypassed the shim"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn repo_obeys_the_lock_discipline() {
+    let root = repo_root();
+    let allow = load_allowlist(&root);
+    let mut violations = Vec::new();
+    check_std_sync_ban(&root, &mut violations);
+    check_kernel_nesting(&root, &allow, &mut violations);
+    check_guard_unwraps(&root, &mut violations);
+    if !violations.is_empty() {
+        let mut msg = format!("{} lock-discipline violation(s):\n", violations.len());
+        for v in &violations {
+            let _ = writeln!(msg, "{}", v.render());
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn allowlist_entries_still_match_a_line() {
+    // A stale allow entry is a hole waiting for a new violation to hide
+    // in: every entry must still match at least one line of its file.
+    let root = repo_root();
+    for e in load_allowlist(&root) {
+        let text = std::fs::read_to_string(root.join(&e.file))
+            .unwrap_or_else(|_| panic!("lockdep-allow.toml names missing file {}", e.file));
+        assert!(
+            text.lines().any(|l| l.contains(&e.contains)),
+            "stale lockdep-allow.toml entry: {} no longer contains {:?}",
+            e.file,
+            e.contains
+        );
+    }
+}
