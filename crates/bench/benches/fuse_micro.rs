@@ -177,6 +177,14 @@ fn bench_getxattr_uncached(c: &mut Criterion) {
     });
 }
 
+/// Runs last: dumps the observability registry so every bench run leaves a
+/// `name value` snapshot of what the workload actually did (per-opcode
+/// counts, latency quantiles, cache behaviour) next to its timing numbers.
+fn report_metrics_snapshot(_c: &mut Criterion) {
+    println!("fuse_micro metrics snapshot:");
+    print!("{}", obs::render());
+}
+
 criterion_group!(
     benches,
     bench_lookup,
@@ -185,6 +193,7 @@ criterion_group!(
     bench_read_1m_splice_vs_copy,
     bench_write_1m_splice_vs_copy,
     bench_flush_batched_vs_unbatched,
-    bench_getxattr_uncached
+    bench_getxattr_uncached,
+    report_metrics_snapshot
 );
 criterion_main!(benches);

@@ -166,5 +166,18 @@ fn bench_syscall_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_syscall_latency, bench_shard_scaling);
+/// Runs last: dumps the observability registry so every bench run leaves a
+/// `name value` snapshot of what the workload actually did (cache hit
+/// rates, request counts, latency quantiles) next to its timing numbers.
+fn report_metrics_snapshot(_c: &mut Criterion) {
+    println!("kernel_scale metrics snapshot:");
+    print!("{}", obs::render());
+}
+
+criterion_group!(
+    benches,
+    bench_syscall_latency,
+    bench_shard_scaling,
+    report_metrics_snapshot
+);
 criterion_main!(benches);

@@ -1,21 +1,33 @@
 //! I/O statistics counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, LazyCounter, Subsystem};
+
+// Machine-wide totals, registered in the observability registry so
+// `/proc/cntrstats` carries a blockdev section; the per-device `IoStats`
+// cells below stay out of the registry (devices are created in bulk).
+static OBS_READS: LazyCounter = LazyCounter::new(Subsystem::BlockDev, "blockdev.reads");
+static OBS_WRITES: LazyCounter = LazyCounter::new(Subsystem::BlockDev, "blockdev.writes");
+static OBS_BYTES_READ: LazyCounter = LazyCounter::new(Subsystem::BlockDev, "blockdev.bytes-read");
+static OBS_BYTES_WRITTEN: LazyCounter =
+    LazyCounter::new(Subsystem::BlockDev, "blockdev.bytes-written");
+static OBS_FLUSHES: LazyCounter = LazyCounter::new(Subsystem::BlockDev, "blockdev.flushes");
 
 /// Cumulative I/O statistics of a [`crate::BlockDevice`].
 ///
-/// All counters are monotonically increasing and thread-safe. Benchmarks use
-/// them to explain results: e.g. the FIO reproduction asserts that the
-/// CntrFS-with-writeback run issues *fewer, larger* writes than native.
+/// A thin view over [`obs::Counter`] cells: monotonically increasing and
+/// thread-safe, mirrored into the machine-wide registered totals above.
+/// Benchmarks use them to explain results: e.g. the FIO reproduction asserts
+/// that the CntrFS-with-writeback run issues *fewer, larger* writes than
+/// native.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
-    seq_ops: AtomicU64,
-    rand_ops: AtomicU64,
-    flushes: AtomicU64,
+    reads: Counter,
+    writes: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    seq_ops: Counter,
+    rand_ops: Counter,
+    flushes: Counter,
 }
 
 /// A point-in-time copy of the counters.
@@ -66,41 +78,46 @@ impl IoSnapshot {
 impl IoStats {
     /// Records a read of `len` bytes.
     pub fn record_read(&self, len: u64, sequential: bool) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.reads.inc();
+        self.bytes_read.add(len);
+        OBS_READS.inc();
+        OBS_BYTES_READ.add(len);
         self.record_kind(sequential);
     }
 
     /// Records a write of `len` bytes.
     pub fn record_write(&self, len: u64, sequential: bool) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        self.writes.inc();
+        self.bytes_written.add(len);
+        OBS_WRITES.inc();
+        OBS_BYTES_WRITTEN.add(len);
         self.record_kind(sequential);
     }
 
     /// Records a flush/barrier.
     pub fn record_flush(&self) {
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.flushes.inc();
+        OBS_FLUSHES.inc();
     }
 
     fn record_kind(&self, sequential: bool) {
         if sequential {
-            self.seq_ops.fetch_add(1, Ordering::Relaxed);
+            self.seq_ops.inc();
         } else {
-            self.rand_ops.fetch_add(1, Ordering::Relaxed);
+            self.rand_ops.inc();
         }
     }
 
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            seq_ops: self.seq_ops.load(Ordering::Relaxed),
-            rand_ops: self.rand_ops.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
+            reads: self.reads.value(),
+            writes: self.writes.value(),
+            bytes_read: self.bytes_read.value(),
+            bytes_written: self.bytes_written.value(),
+            seq_ops: self.seq_ops.value(),
+            rand_ops: self.rand_ops.value(),
+            flushes: self.flushes.value(),
         }
     }
 }

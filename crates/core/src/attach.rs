@@ -23,9 +23,16 @@ use cntr_engine::ContainerRuntime;
 use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport};
 use cntr_kernel::{CacheMode, Kernel, MountFlags, NamespaceKind};
 use cntr_types::{DevId, Errno, Mode, OpenFlags, Pid, SysResult};
+use obs::{LazyCounter, LazyHistogram, Subsystem, Timed};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Attach is the third leg of the container lifecycle (after spawn and
+// before reap, both metered in `cntr-engine`); it shares their subsystem.
+static OBS_ATTACHES: LazyCounter = LazyCounter::new(Subsystem::Engine, "engine.attach.count");
+static OBS_ATTACH_NS: LazyHistogram =
+    LazyHistogram::new(Subsystem::Engine, "engine.attach.latency-ns");
 
 /// Where the tools come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +78,8 @@ impl Cntr {
 
     /// Attaches to the container running as `target`.
     pub fn attach(&self, target: Pid, opts: CntrOptions) -> SysResult<AttachSession> {
+        let _timed = Timed::new(OBS_ATTACH_NS.get());
+        OBS_ATTACHES.inc();
         // ------------------------------------------------------------------
         // Step #1: resolve and gather the container context via /proc.
         // ------------------------------------------------------------------

@@ -17,10 +17,21 @@ use cntr_kernel::devfs;
 use cntr_kernel::{CacheMode, CgroupPath, Kernel, MountFlags, NamespaceKind};
 use cntr_overlay::{blobfs, BlobFs, BlobStore, OverlayFs};
 use cntr_types::{DevId, Errno, Mode, Pid, SysResult};
+use obs::{LazyCounter, LazyGauge, LazyHistogram, Subsystem, Timed};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Lifecycle observability, aggregated over every runtime instance. Spawn
+// covers the whole `run()` path (rootfs assembly through creds); reap
+// covers `stop()` (exit, reap, cgroup and bookkeeping teardown).
+static OBS_SPAWNS: LazyCounter = LazyCounter::new(Subsystem::Engine, "engine.spawn.count");
+static OBS_SPAWN_NS: LazyHistogram =
+    LazyHistogram::new(Subsystem::Engine, "engine.spawn.latency-ns");
+static OBS_REAPS: LazyCounter = LazyCounter::new(Subsystem::Engine, "engine.reap.count");
+static OBS_REAP_NS: LazyHistogram = LazyHistogram::new(Subsystem::Engine, "engine.reap.latency-ns");
+static OBS_RUNNING: LazyGauge = LazyGauge::new(Subsystem::Engine, "engine.containers.running");
 
 /// The supported container engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -228,6 +239,7 @@ impl ContainerRuntime {
     }
 
     fn run_from(&self, parent_pid: Pid, name: &str, image_ref: &str) -> SysResult<Container> {
+        let _timed = Timed::new(OBS_SPAWN_NS.get());
         if self.containers.lock().contains_key(name) {
             return Err(Errno::EEXIST);
         }
@@ -317,6 +329,8 @@ impl ContainerRuntime {
             .lock()
             .insert(name.to_string(), container.clone());
         self.overlays.lock().insert(name.to_string(), rootfs);
+        OBS_SPAWNS.inc();
+        OBS_RUNNING.inc();
         Ok(container)
     }
 
@@ -359,6 +373,9 @@ impl ContainerRuntime {
     /// cached for future containers; only the private upper is dropped.
     pub fn stop(&self, name: &str) -> SysResult<()> {
         let container = self.containers.lock().remove(name).ok_or(Errno::ESRCH)?;
+        let _timed = Timed::new(OBS_REAP_NS.get());
+        OBS_REAPS.inc();
+        OBS_RUNNING.dec();
         self.overlays.lock().remove(name);
         self.kernel.exit(container.pid)?;
         self.kernel.reap(container.pid)?;

@@ -208,7 +208,16 @@ impl FuseClientFs {
     }
 
     fn call(&self, req: Request) -> SysResult<Reply> {
-        let reply = self.transport.call(req.clone());
+        // Each request gets a trace id; the transport propagates it to its
+        // workers so handler/storage spans attribute to this request. The
+        // scope nests: a re-entrant request (writeback from inside a
+        // handler) gets its own id and restores the outer one on return.
+        let trace = obs::trace::next_trace_id();
+        let _scope = obs::trace::TraceScope::enter(trace);
+        let reply = {
+            let _span = obs::trace::Span::start_for(trace, "client");
+            self.transport.call(req.clone())
+        };
         self.charge(&req, &reply);
         match reply {
             Reply::Err(e) => Err(e),

@@ -15,9 +15,72 @@ use crate::proto::{Opcode, Reply, Request};
 use crate::server::FuseHandler;
 use cntr_types::Errno;
 use crossbeam::channel::{bounded, unbounded, Sender};
+use obs::trace::{Span, TraceScope};
+use obs::{LazyCounter, LazyGauge, Subsystem};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+// Global (cross-connection) request accounting, exported via
+// `/proc/cntrstats`. Everything here is a relaxed atomic: these fire inside
+// the transports' blocking-context checkpoints, where taking a lock is the
+// PR-3 writeback deadlock class.
+static REQ_STARTED: LazyCounter = LazyCounter::new(Subsystem::Fuse, "fuse.req.started");
+static REQ_COMPLETED: LazyCounter = LazyCounter::new(Subsystem::Fuse, "fuse.req.completed");
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new(Subsystem::Fuse, "fuse.req.in-flight");
+
+struct OpMetrics {
+    count: &'static obs::Counter,
+    latency: &'static obs::Histogram,
+}
+
+/// Per-opcode metric families (`fuse.op.<name>.count`,
+/// `fuse.op.<name>.latency-ns`), indexed by the Linux uapi opcode value
+/// and registered on first use of each opcode.
+fn op_metrics(op: Opcode) -> &'static OpMetrics {
+    static TABLE: [OnceLock<OpMetrics>; 64] = [const { OnceLock::new() }; 64];
+    TABLE[op as u32 as usize].get_or_init(|| {
+        let name = op.name();
+        OpMetrics {
+            count: obs::register_counter(Subsystem::Fuse, &format!("fuse.op.{name}.count")),
+            latency: obs::register_histogram(
+                Subsystem::Fuse,
+                &format!("fuse.op.{name}.latency-ns"),
+            ),
+        }
+    })
+}
+
+/// RAII accounting for one dispatched request: counts it started, holds the
+/// in-flight gauge up for its lifetime, and records the per-opcode
+/// round-trip latency on drop (panic-safe, so `started == completed` holds
+/// even across handler panics).
+struct ReqGuard {
+    latency: &'static obs::Histogram,
+    start_ns: u64,
+}
+
+impl ReqGuard {
+    fn begin(op: Opcode) -> ReqGuard {
+        REQ_STARTED.inc();
+        QUEUE_DEPTH.inc();
+        let m = op_metrics(op);
+        m.count.inc();
+        ReqGuard {
+            latency: m.latency,
+            start_ns: obs::now_ns(),
+        }
+    }
+}
+
+impl Drop for ReqGuard {
+    fn drop(&mut self) {
+        self.latency
+            .record(obs::now_ns().saturating_sub(self.start_ns));
+        QUEUE_DEPTH.dec();
+        REQ_COMPLETED.inc();
+    }
+}
 
 /// Per-opcode request counters of one connection.
 #[derive(Debug, Default)]
@@ -164,7 +227,11 @@ impl<H: FuseHandler> Transport for InlineTransport<H> {
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
-        let reply = self.handler.handle(req.clone());
+        let _req_guard = ReqGuard::begin(req.opcode());
+        let reply = {
+            let _span = Span::start("handler");
+            self.handler.handle(req.clone())
+        };
         self.stats.record(&req, &reply);
         reply
     }
@@ -182,7 +249,10 @@ impl<H: FuseHandler> Transport for InlineTransport<H> {
     }
 }
 
-type Job = (Request, Sender<Reply>);
+/// A queued request: the payload, its reply channel, and the submitting
+/// thread's trace id (0 = untraced) so worker-side spans attribute to the
+/// originating request.
+type Job = (Request, Sender<Reply>, u64);
 
 /// Connection ids for worker re-entrancy detection (0 = not a worker).
 static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
@@ -225,8 +295,14 @@ impl ThreadedTransport {
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
                     WORKER_OF.with(|w| w.set(id));
-                    while let Ok((req, reply_tx)) = rx.recv() {
-                        let reply = handler.handle(req.clone());
+                    while let Ok((req, reply_tx, trace)) = rx.recv() {
+                        // Adopt the submitter's trace so handler/storage
+                        // spans land on the right request.
+                        let _scope = TraceScope::enter(trace);
+                        let reply = {
+                            let _span = Span::start_for(trace, "handler");
+                            handler.handle(req.clone())
+                        };
                         stats.record(&req, &reply);
                         let _ = reply_tx.send(reply);
                     }
@@ -271,15 +347,23 @@ impl Transport for ThreadedTransport {
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
+        let _req_guard = ReqGuard::begin(req.opcode());
         if WORKER_OF.with(std::cell::Cell::get) == self.id {
             // Re-entrant request from one of our own workers: execute it on
             // this thread rather than deadlocking the pool (see type docs).
-            let reply = (self.reentrant)(req.clone());
+            let reply = {
+                let _span = Span::start("handler");
+                (self.reentrant)(req.clone())
+            };
             self.stats.record(&req, &reply);
             return reply;
         }
+        // The transport span covers queue + park + wake: everything between
+        // submission and the worker's reply landing back on this thread.
+        let _span = Span::start("transport");
+        let trace = obs::trace::current_trace();
         let (reply_tx, reply_rx) = bounded(1);
-        if self.tx.send((req, reply_tx)).is_err() {
+        if self.tx.send((req, reply_tx, trace)).is_err() {
             return Reply::Err(Errno::ENOTCONN);
         }
         reply_rx.recv().unwrap_or(Reply::Err(Errno::ENOTCONN))

@@ -80,6 +80,45 @@ pub enum Opcode {
     Fallocate = 43,
 }
 
+impl Opcode {
+    /// Kebab-cased opcode name, used to build the per-opcode obs metric
+    /// family (`fuse.op.<name>.count` / `fuse.op.<name>.latency-ns`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Lookup => "lookup",
+            Opcode::Forget => "forget",
+            Opcode::Getattr => "getattr",
+            Opcode::Setattr => "setattr",
+            Opcode::Readlink => "readlink",
+            Opcode::Symlink => "symlink",
+            Opcode::Mknod => "mknod",
+            Opcode::Mkdir => "mkdir",
+            Opcode::Unlink => "unlink",
+            Opcode::Rmdir => "rmdir",
+            Opcode::Rename => "rename",
+            Opcode::Link => "link",
+            Opcode::Open => "open",
+            Opcode::Read => "read",
+            Opcode::Write => "write",
+            Opcode::Statfs => "statfs",
+            Opcode::Release => "release",
+            Opcode::Fsync => "fsync",
+            Opcode::Setxattr => "setxattr",
+            Opcode::Getxattr => "getxattr",
+            Opcode::Listxattr => "listxattr",
+            Opcode::Removexattr => "removexattr",
+            Opcode::Flush => "flush",
+            Opcode::Init => "init",
+            Opcode::Readdir => "readdir",
+            Opcode::Access => "access",
+            Opcode::Create => "create",
+            Opcode::Destroy => "destroy",
+            Opcode::BatchForget => "batch-forget",
+            Opcode::Fallocate => "fallocate",
+        }
+    }
+}
+
 /// INIT negotiation flags — each one is a paper §3.3 optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InitFlags {

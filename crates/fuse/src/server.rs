@@ -102,6 +102,10 @@ impl FsHandler {
         offset: u64,
         size: usize,
     ) -> cntr_types::SysResult<bytes::Bytes> {
+        // The storage span: time the backing filesystem spends producing
+        // the reply, attributed to the request's trace (set by the
+        // transport worker or the inline caller).
+        let _span = obs::trace::Span::start("storage");
         self.fs.read_bytes_gather(ino, fh, offset, size)
     }
 }
@@ -208,9 +212,13 @@ impl FuseHandler for FsHandler {
                 offset,
                 data,
             } => reply(
-                // The payload Bytes moves into the filesystem by reference:
-                // blob-backed stores retain slices of it (zero copy).
-                self.fs.write_bytes(ino, cntr_fs::Fh(fh), offset, data),
+                {
+                    let _span = obs::trace::Span::start("storage");
+                    // The payload Bytes moves into the filesystem by
+                    // reference: blob-backed stores retain slices of it
+                    // (zero copy).
+                    self.fs.write_bytes(ino, cntr_fs::Fh(fh), offset, data)
+                },
                 |n| Reply::Written(n as u32),
             ),
             Request::Statfs => reply(self.fs.statfs(), Reply::Statfs),

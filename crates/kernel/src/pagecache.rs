@@ -15,10 +15,32 @@ use bytes::Bytes;
 use cntr_fs::{Fh, Filesystem};
 use cntr_types::cost::PAGE_SIZE;
 use cntr_types::{CostModel, DevId, Errno, Ino, SimClock, SysResult};
+use obs::{LazyCounter, LazyGauge, Subsystem};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Global observability metrics, aggregated across every `PageCache` instance
+// in the process (the per-instance [`PageCacheStats`] snapshot remains the
+// per-cache view). All updates are single relaxed atomic ops. Invariant kept
+// by [`PageCache::read`]: each page iteration bumps `lookups` exactly once
+// and then exactly one of `hits`/`misses`, so at quiescence
+// `hits + misses == lookups`.
+static OBS_LOOKUPS: LazyCounter = LazyCounter::new(Subsystem::PageCache, "pagecache.lookups");
+static OBS_HITS: LazyCounter = LazyCounter::new(Subsystem::PageCache, "pagecache.hits");
+static OBS_MISSES: LazyCounter = LazyCounter::new(Subsystem::PageCache, "pagecache.misses");
+static OBS_EVICTIONS: LazyCounter = LazyCounter::new(Subsystem::PageCache, "pagecache.evictions");
+static OBS_FLUSHED_PAGES: LazyCounter =
+    LazyCounter::new(Subsystem::PageCache, "pagecache.flushed-pages");
+static OBS_FLUSH_BATCHES: LazyCounter =
+    LazyCounter::new(Subsystem::PageCache, "pagecache.flush-batches");
+static OBS_INVALIDATIONS: LazyCounter =
+    LazyCounter::new(Subsystem::PageCache, "pagecache.invalidations");
+/// Dirty pages currently pending write-back, summed over all caches. Each
+/// site that changes a cache's `dirty_total` applies the same delta here
+/// while still holding that cache's state lock.
+static OBS_DIRTY_PAGES: LazyGauge = LazyGauge::new(Subsystem::PageCache, "pagecache.dirty-pages");
 
 /// A borrowed open file used for cache fills and writeback.
 ///
@@ -289,7 +311,9 @@ impl PageCache {
             }
             !doomed
         });
-        st.dirty_total = st.dirty_total.saturating_sub(dropped_dirty as usize);
+        let before = st.dirty_total;
+        st.dirty_total = before.saturating_sub(dropped_dirty as usize);
+        OBS_DIRTY_PAGES.add(st.dirty_total as i64 - before as i64);
         if let Some(f) = st.files.get_mut(&(dev, ino)) {
             f.dirty_pages = f.dirty_pages.saturating_sub(dropped_dirty);
         }
@@ -331,11 +355,14 @@ impl PageCache {
                 }
             };
 
+            OBS_LOOKUPS.inc();
             if hit {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                OBS_HITS.inc();
                 self.clock.advance(self.cost.page_cache_hit_ns);
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                OBS_MISSES.inc();
                 // Fill the whole page from the filesystem (outside the lock:
                 // a FUSE fill re-enters the kernel through the server).
                 let page_off = page_no * PAGE_SIZE as u64;
@@ -450,6 +477,7 @@ impl PageCache {
             entry.dirty = true;
             if newly_dirty {
                 st.dirty_total += 1;
+                OBS_DIRTY_PAGES.inc();
                 let fstate = st.files.entry((dev, ino)).or_insert_with(|| FileState {
                     flush_ref: None,
                     pending_size: None,
@@ -592,8 +620,10 @@ impl PageCache {
                     .write_bytes(ino, flush_ref.fh, offset, Bytes::from(buf))?;
             }
             self.flush_batches.fetch_add(1, Ordering::Relaxed);
+            OBS_FLUSH_BATCHES.inc();
             self.flushed_pages
                 .fetch_add(members.len() as u64, Ordering::Relaxed);
+            OBS_FLUSHED_PAGES.add(members.len() as u64);
             let mut st = self.state.lock();
             for (page, version) in members {
                 let key = PageKey { dev, ino, page };
@@ -602,6 +632,7 @@ impl PageCache {
                     if e.dirty && e.version == version {
                         e.dirty = false;
                         st.dirty_total = st.dirty_total.saturating_sub(1);
+                        OBS_DIRTY_PAGES.dec();
                         if let Some(f) = st.files.get_mut(&(dev, ino)) {
                             f.dirty_pages = f.dirty_pages.saturating_sub(1);
                         }
@@ -663,6 +694,7 @@ impl PageCache {
         drop(st);
         drop(removed);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+        OBS_INVALIDATIONS.inc();
         Ok(())
     }
 
@@ -678,7 +710,9 @@ impl PageCache {
             }
             !doomed
         });
-        st.dirty_total = st.dirty_total.saturating_sub(dropped_dirty as usize);
+        let before = st.dirty_total;
+        st.dirty_total = before.saturating_sub(dropped_dirty as usize);
+        OBS_DIRTY_PAGES.add(st.dirty_total as i64 - before as i64);
         let mut removed = None;
         if let Some(f) = st.files.get_mut(&(dev, ino)) {
             f.dirty_pages = f.dirty_pages.saturating_sub(dropped_dirty);
@@ -801,6 +835,7 @@ impl PageCache {
             evicted += 1;
         }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        OBS_EVICTIONS.add(evicted);
     }
 }
 

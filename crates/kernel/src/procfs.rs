@@ -7,9 +7,14 @@
 //! per-pid directories with `status`, `environ`, `cmdline`, `cgroup`,
 //! `mounts` and `ns/<kind>` entries, generated live from kernel state.
 //!
-//! Inode layout: root = 1; `/proc/namespaces` = 2; `/proc/lockdep` = 3;
-//! `/proc/<pid>` = `pid * 1000`; files inside are `pid * 1000 + k`; `ns/`
-//! is `pid * 1000 + 100` with kind files following.
+//! Inode layout: special (non-pid) nodes occupy the space below 2^32 —
+//! root = 1, `/proc/namespaces` = 2, `/proc/lockdep` = 3,
+//! `/proc/cntrstats` = 4. Per-pid nodes are `(pid << 32) | k`:
+//! `/proc/<pid>` has `k = 0`, files inside use small `k`, `ns/` is
+//! `k = 100` with kind files following. Because the pid sits in its own
+//! high 32 bits, no pid-relative index can alias another pid's files or
+//! a special node, no matter how large pids grow (the previous
+//! `pid * 1000 + k` layout collided once any index reached the stride).
 //!
 //! `/proc/namespaces` is this simulation's observability hook for
 //! namespace GC: one line per live `(kind, id)` pair with its process
@@ -26,15 +31,21 @@ use cntr_types::{
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-const PID_STRIDE: u64 = 1000;
 const I_NAMESPACES: u64 = 2;
 const I_LOCKDEP: u64 = 3;
+const I_CNTRSTATS: u64 = 4;
 const F_STATUS: u64 = 1;
 const F_ENVIRON: u64 = 2;
 const F_CMDLINE: u64 = 3;
 const F_CGROUP: u64 = 4;
 const F_MOUNTS: u64 = 5;
 const D_NS: u64 = 100;
+
+/// The inode of `/proc/<pid>`'s node with pid-relative index `k`
+/// (`k = 0` is the directory itself).
+fn pid_ino(pid: Pid, k: u64) -> u64 {
+    (u64::from(pid.raw()) << 32) | k
+}
 
 /// The `/proc` filesystem.
 pub struct ProcFs {
@@ -59,17 +70,17 @@ impl ProcFs {
 
     fn classify(ino: Ino) -> ProcNode {
         let v = ino.raw();
-        if v == 1 {
-            return ProcNode::Root;
+        if v < 1 << 32 {
+            return match v {
+                1 => ProcNode::Root,
+                I_NAMESPACES => ProcNode::NsTable,
+                I_LOCKDEP => ProcNode::Lockdep,
+                I_CNTRSTATS => ProcNode::Cntrstats,
+                _ => ProcNode::Unknown,
+            };
         }
-        if v == I_NAMESPACES {
-            return ProcNode::NsTable;
-        }
-        if v == I_LOCKDEP {
-            return ProcNode::Lockdep;
-        }
-        let pid = Pid((v / PID_STRIDE) as u32);
-        match v % PID_STRIDE {
+        let pid = Pid((v >> 32) as u32);
+        match v & 0xffff_ffff {
             0 => ProcNode::PidDir(pid),
             F_STATUS => ProcNode::File(pid, ProcFile::Status),
             F_ENVIRON => ProcNode::File(pid, ProcFile::Environ),
@@ -130,6 +141,32 @@ impl ProcFs {
     /// is empty, which the header line makes explicit.
     fn lockdep_content(&self) -> Vec<u8> {
         lockdep::report().to_string().into_bytes()
+    }
+
+    /// `/proc/cntrstats`: every registered observability metric as
+    /// vmstat-style `name value` lines, one subsystem block after another
+    /// (each block is rendered in a single pass over its metrics, so —
+    /// like `/proc/vmstat` — the snapshot is consistent per subsystem),
+    /// followed by lock-contention counters bridged from the lockdep
+    /// core, which sits below the metrics crate and cannot register its
+    /// own metrics without a dependency cycle.
+    fn cntrstats_content(&self) -> Vec<u8> {
+        let mut out = obs::render();
+        let report = lockdep::report();
+        out.push_str(&format!("lockdep.classes {}\n", report.classes.len()));
+        let (contended, wait_ns) = report.classes.iter().fold((0u64, 0u64), |(c, w), cl| {
+            (c + cl.contended, w + cl.wait_ns)
+        });
+        out.push_str(&format!("lockdep.contended-total {contended}\n"));
+        out.push_str(&format!("lockdep.wait-ns-total {wait_ns}\n"));
+        let mut classes: Vec<_> = report.classes.iter().filter(|c| c.contended > 0).collect();
+        classes.sort_by_key(|c| c.name);
+        for c in classes {
+            let name = c.name.replace('_', "-");
+            out.push_str(&format!("lockdep.{name}.contended {}\n", c.contended));
+            out.push_str(&format!("lockdep.{name}.wait-ns {}\n", c.wait_ns));
+        }
+        out.into_bytes()
     }
 
     fn content(&self, pid: Pid, file: ProcFile) -> SysResult<Vec<u8>> {
@@ -248,6 +285,10 @@ impl ProcFs {
                 let size = self.lockdep_content().len() as u64;
                 Ok(self.file_stat(ino, Uid::ROOT, Gid::ROOT, size))
             }
+            ProcNode::Cntrstats => {
+                let size = self.cntrstats_content().len() as u64;
+                Ok(self.file_stat(ino, Uid::ROOT, Gid::ROOT, size))
+            }
             ProcNode::PidDir(pid) | ProcNode::NsDir(pid) => {
                 if !self.pid_exists(pid) {
                     return Err(Errno::ENOENT);
@@ -293,6 +334,8 @@ enum ProcNode {
     NsTable,
     /// `/proc/lockdep` — lock classes and observed dependency edges.
     Lockdep,
+    /// `/proc/cntrstats` — the observability registry, vmstat-style.
+    Cntrstats,
     PidDir(Pid),
     NsDir(Pid),
     File(Pid, ProcFile),
@@ -329,32 +372,33 @@ impl Filesystem for ProcFs {
                 if name == "lockdep" {
                     return self.node_stat(Ino(I_LOCKDEP));
                 }
+                if name == "cntrstats" {
+                    return self.node_stat(Ino(I_CNTRSTATS));
+                }
                 let pid: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
                 if !self.pid_exists(Pid(pid)) {
                     return Err(Errno::ENOENT);
                 }
-                self.node_stat(Ino(u64::from(pid) * PID_STRIDE))
+                self.node_stat(Ino(pid_ino(Pid(pid), 0)))
             }
             ProcNode::PidDir(pid) => {
-                let base = pid.raw() as u64 * PID_STRIDE;
-                let ino = match name {
-                    "status" => base + F_STATUS,
-                    "environ" => base + F_ENVIRON,
-                    "cmdline" => base + F_CMDLINE,
-                    "cgroup" => base + F_CGROUP,
-                    "mounts" => base + F_MOUNTS,
-                    "ns" => base + D_NS,
+                let k = match name {
+                    "status" => F_STATUS,
+                    "environ" => F_ENVIRON,
+                    "cmdline" => F_CMDLINE,
+                    "cgroup" => F_CGROUP,
+                    "mounts" => F_MOUNTS,
+                    "ns" => D_NS,
                     _ => return Err(Errno::ENOENT),
                 };
-                self.node_stat(Ino(ino))
+                self.node_stat(Ino(pid_ino(pid, k)))
             }
             ProcNode::NsDir(pid) => {
-                let base = pid.raw() as u64 * PID_STRIDE;
                 let idx = ALL_KINDS
                     .iter()
                     .position(|k| k.proc_name() == name)
                     .ok_or(Errno::ENOENT)?;
-                self.node_stat(Ino(base + D_NS + 1 + idx as u64))
+                self.node_stat(Ino(pid_ino(pid, D_NS + 1 + idx as u64)))
             }
             _ => Err(Errno::ENOTDIR),
         }
@@ -438,6 +482,7 @@ impl Filesystem for ProcFs {
             ProcNode::File(pid, f) => self.content(pid, f)?,
             ProcNode::NsTable => self.namespaces_content()?,
             ProcNode::Lockdep => self.lockdep_content(),
+            ProcNode::Cntrstats => self.cntrstats_content(),
             _ => return Err(Errno::EISDIR),
         };
         if offset >= content.len() as u64 {
@@ -471,9 +516,14 @@ impl Filesystem for ProcFs {
                         name: "lockdep".to_string(),
                         ftype: FileType::Regular,
                     },
+                    Dirent {
+                        ino: Ino(I_CNTRSTATS),
+                        name: "cntrstats".to_string(),
+                        ftype: FileType::Regular,
+                    },
                 ];
                 out.extend(kernel.procs.pids().into_iter().map(|p| Dirent {
-                    ino: Ino(p.raw() as u64 * PID_STRIDE),
+                    ino: Ino(pid_ino(p, 0)),
                     name: p.to_string(),
                     ftype: FileType::Directory,
                 }));
@@ -483,35 +533,31 @@ impl Filesystem for ProcFs {
                 if !self.pid_exists(pid) {
                     return Err(Errno::ENOENT);
                 }
-                let base = pid.raw() as u64 * PID_STRIDE;
                 Ok([
-                    ("cgroup", base + F_CGROUP, FileType::Regular),
-                    ("cmdline", base + F_CMDLINE, FileType::Regular),
-                    ("environ", base + F_ENVIRON, FileType::Regular),
-                    ("mounts", base + F_MOUNTS, FileType::Regular),
-                    ("ns", base + D_NS, FileType::Directory),
-                    ("status", base + F_STATUS, FileType::Regular),
+                    ("cgroup", F_CGROUP, FileType::Regular),
+                    ("cmdline", F_CMDLINE, FileType::Regular),
+                    ("environ", F_ENVIRON, FileType::Regular),
+                    ("mounts", F_MOUNTS, FileType::Regular),
+                    ("ns", D_NS, FileType::Directory),
+                    ("status", F_STATUS, FileType::Regular),
                 ]
                 .into_iter()
-                .map(|(n, i, t)| Dirent {
-                    ino: Ino(i),
+                .map(|(n, k, t)| Dirent {
+                    ino: Ino(pid_ino(pid, k)),
                     name: n.to_string(),
                     ftype: t,
                 })
                 .collect())
             }
-            ProcNode::NsDir(pid) => {
-                let base = pid.raw() as u64 * PID_STRIDE;
-                Ok(ALL_KINDS
-                    .iter()
-                    .enumerate()
-                    .map(|(i, k)| Dirent {
-                        ino: Ino(base + D_NS + 1 + i as u64),
-                        name: k.proc_name().to_string(),
-                        ftype: FileType::Regular,
-                    })
-                    .collect())
-            }
+            ProcNode::NsDir(pid) => Ok(ALL_KINDS
+                .iter()
+                .enumerate()
+                .map(|(i, k)| Dirent {
+                    ino: Ino(pid_ino(pid, D_NS + 1 + i as u64)),
+                    name: k.proc_name().to_string(),
+                    ftype: FileType::Regular,
+                })
+                .collect()),
             _ => Err(Errno::ENOTDIR),
         }
     }
@@ -783,6 +829,76 @@ mod tests {
                 .any(|l| l.starts_with("tmpfs") && l.contains(" ro")),
             "{text}"
         );
+    }
+
+    #[test]
+    fn inode_numbers_never_collide_across_pids() {
+        // Every node of every pid directory, for 10k pids, plus the special
+        // nodes, must map to a distinct inode — the previous
+        // `pid * 1000 + k` scheme aliased neighbouring pids' files.
+        let mut seen = std::collections::HashSet::new();
+        for special in [1u64, I_NAMESPACES, I_LOCKDEP, I_CNTRSTATS] {
+            assert!(seen.insert(special));
+        }
+        for pid in 1..=10_000u32 {
+            let pid = Pid(pid);
+            let mut ks = vec![0, F_STATUS, F_ENVIRON, F_CMDLINE, F_CGROUP, F_MOUNTS, D_NS];
+            ks.extend((0..ALL_KINDS.len() as u64).map(|i| D_NS + 1 + i));
+            for k in ks {
+                let ino = pid_ino(pid, k);
+                assert!(seen.insert(ino), "collision at pid {pid} k {k}");
+                // And the inode classifies back to the same pid.
+                match ProcFs::classify(Ino(ino)) {
+                    ProcNode::PidDir(p) | ProcNode::NsDir(p) | ProcNode::File(p, _) => {
+                        assert_eq!(p, pid)
+                    }
+                    _ => panic!("pid inode classified as non-pid node"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proc_cntrstats_renders_live_metrics() {
+        let clock = SimClock::new();
+        let fs = memfs(DevId(1), clock.clone());
+        let k = Kernel::with_clock(clock, fs, CacheMode::native(), KernelConfig::default());
+        k.mkdir(Pid::INIT, "/proc", Mode::RWXR_XR_X).unwrap();
+        k.mount_procfs(Pid::INIT, "/proc").unwrap();
+        // Generate page-cache traffic so the pagecache block is non-trivial.
+        let fd = k
+            .open(Pid::INIT, "/f", OpenFlags::create(), Mode::RW_R__R__)
+            .unwrap();
+        k.write_fd(Pid::INIT, fd, b"stats").unwrap();
+        k.close(Pid::INIT, fd).unwrap();
+        let fd = k
+            .open(Pid::INIT, "/f", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
+        let mut small = [0u8; 5];
+        k.read_fd(Pid::INIT, fd, &mut small).unwrap();
+        k.close(Pid::INIT, fd).unwrap();
+        let fd = k
+            .open(
+                Pid::INIT,
+                "/proc/cntrstats",
+                OpenFlags::RDONLY,
+                Mode::RW_R__R__,
+            )
+            .unwrap();
+        let mut buf = vec![0u8; 1 << 20];
+        let n = k.read_fd(Pid::INIT, fd, &mut buf).unwrap();
+        k.close(Pid::INIT, fd).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]).to_string();
+        // vmstat shape: every line is `name value`.
+        for line in text.lines() {
+            let mut parts = line.split(' ');
+            let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+            assert!(parts.next().is_none(), "{line}");
+            assert!(!name.is_empty());
+            value.parse::<i64>().unwrap();
+        }
+        assert!(text.contains("pagecache.lookups "), "{text}");
+        assert!(text.contains("lockdep.classes "), "{text}");
     }
 
     // Silence the helper-trait dead-code path.

@@ -263,4 +263,81 @@ fn stress_fork_exec_attach_umount_across_containers() {
         baseline,
         "namespace GC must restore the boot baseline"
     );
+
+    // Observability invariants at quiescence (this binary holds exactly one
+    // test, so no concurrent test is mutating the process-global metrics).
+    // Every page-cache lookup resolved to exactly one hit or miss — the
+    // RAII/accounting symmetry satellite of the obs PR.
+    let lookups = obs::counter_value("pagecache.lookups").unwrap_or(0);
+    let hits = obs::counter_value("pagecache.hits").unwrap_or(0);
+    let misses = obs::counter_value("pagecache.misses").unwrap_or(0);
+    assert!(lookups > 0, "stress must have exercised the page cache");
+    assert_eq!(
+        hits + misses,
+        lookups,
+        "every lookup is exactly one hit or one miss"
+    );
+
+    // A threaded-FUSE bout after the stress: request accounting must be
+    // symmetric (started == completed) and the in-flight gauge must drain
+    // back to zero once every worker went home.
+    fuse_request_accounting_bout();
+    let started = obs::counter_value("fuse.req.started").unwrap_or(0);
+    let completed = obs::counter_value("fuse.req.completed").unwrap_or(0);
+    assert!(started > 0, "the FUSE bout must have issued requests");
+    assert_eq!(started, completed, "every request started must complete");
+    assert_eq!(
+        obs::gauge_value("fuse.req.in-flight").unwrap_or(0),
+        0,
+        "queue depth must return to zero at quiescence"
+    );
+}
+
+/// Hammers a threaded FUSE mount from several threads, then tears it down.
+fn fuse_request_accounting_bout() {
+    use cntr_fs::Filesystem;
+    use cntr_fuse::conn::ThreadedTransport;
+    use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig};
+    use cntr_types::{CostModel, FileType, Ino};
+
+    let clock = SimClock::new();
+    let backing = memfs(DevId(7_000), clock.clone());
+    let transport = Arc::new(ThreadedTransport::new(FsHandler::new(backing), 4));
+    let client = FuseClientFs::mount(
+        DevId(0xF0),
+        clock,
+        CostModel::calibrated(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .expect("fuse mount");
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let client = Arc::clone(&client);
+        handles.push(std::thread::spawn(move || {
+            let ctx = cntr_fs::FsContext::root();
+            let st = client
+                .mknod(
+                    Ino::ROOT,
+                    &format!("f{t}"),
+                    FileType::Regular,
+                    Mode::RW_R__R__,
+                    0,
+                    &ctx,
+                )
+                .expect("mknod");
+            let fh = client.open(st.ino, OpenFlags::RDWR).expect("open");
+            let payload = vec![t as u8; 4096];
+            for i in 0..32u64 {
+                client.write(st.ino, fh, i * 4096, &payload).expect("write");
+                let mut buf = [0u8; 4096];
+                client.read(st.ino, fh, i * 4096, &mut buf).expect("read");
+            }
+            client.release(st.ino, fh).expect("release");
+        }));
+    }
+    for h in handles {
+        h.join().expect("fuse bout thread must not panic");
+    }
 }

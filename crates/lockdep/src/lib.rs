@@ -125,6 +125,12 @@ pub struct LockClass {
     acquires: AtomicU64,
     /// Deepest held-stack depth observed at acquisition (incl. self).
     max_depth: AtomicUsize,
+    /// Acquisitions that found the lock contended (`try_lock` failed and
+    /// the thread had to block). Fed by [`note_contention`].
+    contended: AtomicU64,
+    /// Total wall-clock nanoseconds spent blocked on contended
+    /// acquisitions. Fed by [`note_contention`].
+    wait_ns: AtomicU64,
 }
 
 impl LockClass {
@@ -132,6 +138,14 @@ impl LockClass {
     pub fn name(&self) -> &'static str {
         self.name
     }
+}
+
+/// Records one contended acquisition of `class` that blocked for `wait_ns`
+/// wall-clock nanoseconds. Called by the `parking_lot` shim after a failed
+/// `try_lock` fast path; two relaxed atomic adds, safe anywhere.
+pub fn note_contention(class: &'static LockClass, wait_ns: u64) {
+    class.contended.fetch_add(1, Ordering::Relaxed);
+    class.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
 }
 
 struct Edge {
@@ -206,6 +220,8 @@ pub fn register(name: Option<&'static str>, loc: &'static Location<'static>) -> 
         group: AtomicI32::new(group.unwrap_or(-1)),
         acquires: AtomicU64::new(0),
         max_depth: AtomicUsize::new(0),
+        contended: AtomicU64::new(0),
+        wait_ns: AtomicU64::new(0),
     }));
     reg.by_name.insert(name, class);
     reg.classes.push(class);
@@ -529,6 +545,10 @@ pub struct ClassReport {
     pub acquires: u64,
     /// Deepest held-stack depth observed at acquisition (incl. self).
     pub max_depth: usize,
+    /// Acquisitions that had to block (contended).
+    pub contended: u64,
+    /// Total nanoseconds spent blocked on contended acquisitions.
+    pub wait_ns: u64,
 }
 
 /// One observed dependency in [`Report`].
@@ -570,16 +590,21 @@ impl fmt::Display for Report {
             self.classes.len(),
             self.edges.len()
         )?;
-        writeln!(f, "--- classes (name shape group acquires max-depth site)")?;
+        writeln!(
+            f,
+            "--- classes (name shape group acquires max-depth contended wait-ns site)"
+        )?;
         for c in &self.classes {
             writeln!(
                 f,
-                "{} {} {} {} {} {}",
+                "{} {} {} {} {} {} {} {}",
                 c.name,
                 c.shape,
                 c.group.map(|g| g.to_string()).unwrap_or_else(|| "-".into()),
                 c.acquires,
                 c.max_depth,
+                c.contended,
+                c.wait_ns,
                 c.site
             )?;
         }
@@ -604,6 +629,8 @@ pub fn report() -> Report {
             group: u32::try_from(c.group.load(Ordering::Relaxed)).ok(),
             acquires: c.acquires.load(Ordering::Relaxed),
             max_depth: c.max_depth.load(Ordering::Relaxed),
+            contended: c.contended.load(Ordering::Relaxed),
+            wait_ns: c.wait_ns.load(Ordering::Relaxed),
         })
         .collect();
     let mut edges: Vec<EdgeReport> = reg
@@ -685,6 +712,20 @@ mod tests {
         acquire(c, 3, LockKind::Mutex, loc());
         release(c, 3);
         release(c, 1);
+    }
+
+    #[test]
+    fn contention_accumulates_into_report() {
+        let c = register(Some("test.unit.contended"), loc());
+        note_contention(c, 1_500);
+        note_contention(c, 500);
+        let row = report()
+            .classes
+            .into_iter()
+            .find(|r| r.name == "test.unit.contended")
+            .unwrap();
+        assert_eq!(row.contended, 2);
+        assert_eq!(row.wait_ns, 2_000);
     }
 
     #[test]

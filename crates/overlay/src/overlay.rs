@@ -31,6 +31,7 @@ use cntr_types::{
     DevId, Dirent, Errno, FileType, Ino, Mode, OpenFlags, RenameFlags, SetAttr, Stat, Statfs,
     SysResult,
 };
+use obs::{LazyCounter, Subsystem};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +39,18 @@ use std::sync::Arc;
 
 /// The xattr marking an opaque directory (Linux overlayfs convention).
 pub const OPAQUE_XATTR: &str = "trusted.overlay.opaque";
+
+// Global observability metrics, aggregated over every overlay instance.
+// Copy-up is the paper's headline overlay cost (§3.3); the dentry-cache
+// counters show what fraction of lookups the cache absorbs.
+static OBS_COPY_UP: LazyCounter = LazyCounter::new(Subsystem::Overlay, "overlay.copy-up.count");
+static OBS_COPY_UP_BYTES: LazyCounter =
+    LazyCounter::new(Subsystem::Overlay, "overlay.copy-up.bytes");
+static OBS_DCACHE_HITS: LazyCounter = LazyCounter::new(Subsystem::Overlay, "overlay.dcache.hits");
+static OBS_DCACHE_NEG_HITS: LazyCounter =
+    LazyCounter::new(Subsystem::Overlay, "overlay.dcache.negative-hits");
+static OBS_DCACHE_MISSES: LazyCounter =
+    LazyCounter::new(Subsystem::Overlay, "overlay.dcache.misses");
 
 /// Which layer a realization lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -410,11 +423,15 @@ impl OverlayFs {
         let cached = st.dcache.get(&parent).and_then(|m| m.get(name).copied());
         if let Some(cached) = cached {
             match cached {
-                None => return Err(Errno::ENOENT),
+                None => {
+                    OBS_DCACHE_NEG_HITS.inc();
+                    return Err(Errno::ENOENT);
+                }
                 Some(child) => {
                     let primary = st.nodes.get(&child).map(OvlNode::primary);
                     if let Some((k, i)) = primary {
                         if let Ok(stt) = self.layer_fs(k).getattr(i) {
+                            OBS_DCACHE_HITS.inc();
                             let stat = self.fixup_stat(st, child, stt);
                             return Ok((child, stat));
                         }
@@ -424,6 +441,7 @@ impl OverlayFs {
                 }
             }
         }
+        OBS_DCACHE_MISSES.inc();
         let res = self.merge_child_slow(st, parent, name);
         match &res {
             Ok((child, _)) => st.remember_entry(parent, name, Some(*child)),
@@ -733,6 +751,7 @@ impl OverlayFs {
             }
         };
         self.copy_meta(&src, li, &stt, created.ino)?;
+        OBS_COPY_UP.inc();
         st.by_real.insert((LayerKey::Upper, created.ino), ovl);
         st.nodes.get_mut(&ovl).expect("node exists").upper = Some(created.ino);
         Ok(created.ino)
@@ -759,6 +778,7 @@ impl OverlayFs {
             if !crate::blob::is_zero(&buf[..n]) {
                 self.upper.write(dst_ino, dfh, off, &buf[..n])?;
             }
+            OBS_COPY_UP_BYTES.add(n as u64);
             off += n as u64;
         }
         src.release(src_ino, sfh)?;

@@ -1,0 +1,96 @@
+//! Dumps a chrome-trace of a representative workload.
+//!
+//! ```text
+//! cargo run --release --example trace_dump > trace.json 2> cntrstats.txt
+//! ```
+//!
+//! Stdout is a chrome-trace event array (load it in `chrome://tracing` or
+//! Perfetto); stderr is the `/proc/cntrstats` snapshot taken after the
+//! workload, so one run yields both CI artifacts. The workload exercises
+//! the full stack — boot, image pull, container start, attach, shell
+//! traffic, teardown — and finishes with a spliced 1 MiB read through a
+//! threaded FUSE transport so the dump contains complete
+//! client → transport → handler → storage request pipelines.
+
+use std::sync::Arc;
+
+use cntr::fs::Filesystem;
+use cntr::prelude::*;
+use cntr_fuse::conn::ThreadedTransport;
+use cntr_fuse::{FsHandler, FuseClientFs};
+use cntr_types::{CostModel, DevId, FileType, Ino};
+
+fn main() {
+    // Exercise every subsystem once: boot, image pull, container start,
+    // attach, shell traffic over CntrFS, detach, teardown.
+    let kernel = boot_host(SimClock::new());
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "slim")
+            .layer("app")
+            .binary("/usr/local/bin/app", 1_000_000, &[])
+            .entrypoint("/usr/local/bin/app")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let container = docker.run("probe", "app:slim").unwrap();
+
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(container.pid, CntrOptions::default()).unwrap();
+    session.run("ls /var/lib/cntr/usr/local/bin");
+    session.detach().unwrap();
+    docker.stop("probe").unwrap();
+
+    // A spliced read over a threaded transport: its trace records spans
+    // from all four pipeline stages, across the worker-thread boundary.
+    let clock = SimClock::new();
+    let backing = cntr::fs::memfs::memfs(DevId(900), clock.clone());
+    let transport = Arc::new(ThreadedTransport::new(FsHandler::new(backing), 2));
+    let client = FuseClientFs::mount(
+        DevId(0xAB),
+        clock,
+        CostModel::calibrated(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .unwrap();
+    let st = client
+        .mknod(
+            Ino::ROOT,
+            "big",
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &cntr::fs::FsContext::root(),
+        )
+        .unwrap();
+    let fh = client.open(st.ino, OpenFlags::RDWR).unwrap();
+    client.write(st.ino, fh, 0, &vec![0x5A; 1 << 20]).unwrap();
+    let data = client.read_bytes_gather(st.ino, fh, 0, 1 << 20).unwrap();
+    assert_eq!(data.len(), 1 << 20);
+    client.release(st.ino, fh).unwrap();
+
+    // Stdout: the trace. Stderr: the metrics snapshot as the kernel
+    // serves it (registry metrics plus the bridged lockdep section).
+    println!("{}", cntr::obs::trace::chrome_json());
+
+    let fd = kernel
+        .open(
+            Pid::INIT,
+            "/proc/cntrstats",
+            OpenFlags::RDONLY,
+            Mode::RW_R__R__,
+        )
+        .expect("open /proc/cntrstats");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = kernel.read_fd(Pid::INIT, fd, &mut buf).expect("read");
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    kernel.close(Pid::INIT, fd).expect("close");
+    eprint!("{}", String::from_utf8(out).expect("cntrstats is utf-8"));
+}

@@ -84,6 +84,13 @@ mod dep {
                 rank: self.rank,
             }
         }
+
+        /// Reports one contended acquisition (the `try_lock` fast path
+        /// failed and the thread blocked for `wait_ns`) to lockdep's
+        /// per-class contention accounting, surfaced in `/proc/cntrstats`.
+        pub(crate) fn note_contention(&self, wait_ns: u64) {
+            lockdep::note_contention(self.class(), wait_ns);
+        }
     }
 
     /// RAII held-stack entry (one per live guard).
@@ -167,21 +174,39 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available. Under lockdep
     /// the acquisition is validated *before* blocking, so an ordering
-    /// violation panics instead of deadlocking.
+    /// violation panics instead of deadlocking. Instrumented builds also
+    /// try a non-blocking fast path first and report the wall-clock wait
+    /// of contended acquisitions to lockdep's per-class contention stats.
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lockdep"))]
-        let held = self
-            .class
-            .enter(lockdep::LockKind::Mutex, std::panic::Location::caller());
-        let inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        MutexGuard {
-            inner,
-            #[cfg(any(debug_assertions, feature = "lockdep"))]
-            _held: held,
+        {
+            let held = self
+                .class
+                .enter(lockdep::LockKind::Mutex, std::panic::Location::caller());
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(sync::TryLockError::WouldBlock) => {
+                    let start = std::time::Instant::now();
+                    let g = match self.inner.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    self.class
+                        .note_contention(start.elapsed().as_nanos() as u64);
+                    g
+                }
+            };
+            MutexGuard { inner, _held: held }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        {
+            let inner = match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            MutexGuard { inner }
         }
     }
 
@@ -312,39 +337,73 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access.
+    /// Acquires shared read access. Instrumented builds report contended
+    /// acquisitions to lockdep's per-class contention stats.
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lockdep"))]
-        let held = self
-            .class
-            .enter(lockdep::LockKind::Read, std::panic::Location::caller());
-        let inner = match self.inner.read() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        RwLockReadGuard {
-            inner,
-            #[cfg(any(debug_assertions, feature = "lockdep"))]
-            _held: held,
+        {
+            let held = self
+                .class
+                .enter(lockdep::LockKind::Read, std::panic::Location::caller());
+            let inner = match self.inner.try_read() {
+                Ok(g) => g,
+                Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(sync::TryLockError::WouldBlock) => {
+                    let start = std::time::Instant::now();
+                    let g = match self.inner.read() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    self.class
+                        .note_contention(start.elapsed().as_nanos() as u64);
+                    g
+                }
+            };
+            RwLockReadGuard { inner, _held: held }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        {
+            let inner = match self.inner.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            RwLockReadGuard { inner }
         }
     }
 
-    /// Acquires exclusive write access.
+    /// Acquires exclusive write access. Instrumented builds report
+    /// contended acquisitions to lockdep's per-class contention stats.
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lockdep"))]
-        let held = self
-            .class
-            .enter(lockdep::LockKind::Write, std::panic::Location::caller());
-        let inner = match self.inner.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        RwLockWriteGuard {
-            inner,
-            #[cfg(any(debug_assertions, feature = "lockdep"))]
-            _held: held,
+        {
+            let held = self
+                .class
+                .enter(lockdep::LockKind::Write, std::panic::Location::caller());
+            let inner = match self.inner.try_write() {
+                Ok(g) => g,
+                Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(sync::TryLockError::WouldBlock) => {
+                    let start = std::time::Instant::now();
+                    let g = match self.inner.write() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    self.class
+                        .note_contention(start.elapsed().as_nanos() as u64);
+                    g
+                }
+            };
+            RwLockWriteGuard { inner, _held: held }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lockdep")))]
+        {
+            let inner = match self.inner.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            RwLockWriteGuard { inner }
         }
     }
 }
@@ -461,6 +520,28 @@ mod tests {
         });
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_lock_feeds_lockdep_stats() {
+        let m = Arc::new(Mutex::new_class("parking_lot.test.contended", 0));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let waiter = std::thread::spawn(move || {
+            let _g = m2.lock(); // blocks until the main thread releases
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(g);
+        waiter.join().unwrap();
+        if cfg!(any(debug_assertions, feature = "lockdep")) {
+            let row = lockdep::report()
+                .classes
+                .into_iter()
+                .find(|c| c.name == "parking_lot.test.contended")
+                .unwrap();
+            assert!(row.contended >= 1, "contended={}", row.contended);
+            assert!(row.wait_ns > 0);
+        }
     }
 
     #[test]

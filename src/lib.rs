@@ -63,6 +63,7 @@ pub use cntr_slim as slim;
 pub use cntr_types as types;
 pub use cntr_xfstests as xfstests;
 pub use lockdep;
+pub use obs;
 
 /// The common imports for CNTR applications.
 pub mod prelude {

@@ -1,0 +1,160 @@
+//! End-to-end checks of the observability surface: `/proc/cntrstats`
+//! rendered through the full stack, and request tracing across the
+//! client → transport → handler → storage pipeline.
+//!
+//! Both checks live in one `#[test]` binary on purpose: the metrics
+//! registry and the span rings are process-global, so a single test per
+//! binary means no concurrent test can perturb the assertions.
+
+use cntr::prelude::*;
+use cntr_fuse::conn::ThreadedTransport;
+use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig};
+use cntr_types::{CostModel, DevId, FileType, Ino};
+use std::sync::Arc;
+
+fn read_proc_cntrstats(kernel: &Kernel) -> String {
+    let fd = kernel
+        .open(
+            Pid::INIT,
+            "/proc/cntrstats",
+            OpenFlags::RDONLY,
+            Mode::RW_R__R__,
+        )
+        .expect("open /proc/cntrstats");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = kernel
+            .read_fd(Pid::INIT, fd, &mut buf)
+            .expect("read /proc/cntrstats");
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    kernel.close(Pid::INIT, fd).expect("close");
+    String::from_utf8(out).expect("cntrstats is utf-8")
+}
+
+#[test]
+fn cntrstats_and_tracing_cover_the_stack() {
+    // ---- Drive every subsystem once: boot, run, attach, shell, reap. ----
+    let kernel = boot_host(SimClock::new());
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "slim")
+            .layer("app")
+            .binary("/usr/local/bin/app", 1_000_000, &[])
+            .entrypoint("/usr/local/bin/app")
+            .build(),
+    );
+    let docker = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry);
+    let container = docker.run("probe", "app:slim").unwrap();
+    let cntr = Cntr::new(kernel.clone());
+    let session = cntr.attach(container.pid, CntrOptions::default()).unwrap();
+    session.run("ls /var/lib/cntr/usr/local/bin");
+    session.detach().unwrap();
+    docker.stop("probe").unwrap();
+
+    let text = read_proc_cntrstats(&kernel);
+
+    // vmstat shape: every line is exactly `name value`.
+    for line in text.lines() {
+        let mut parts = line.split(' ');
+        let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+        assert!(parts.next().is_none(), "extra column in {line:?}");
+        assert!(!name.is_empty());
+        value.parse::<i64>().unwrap_or_else(|_| panic!("{line:?}"));
+    }
+
+    // Live counters from at least five subsystems.
+    for prefix in ["fuse.", "pagecache.", "overlay.", "engine.", "lockdep."] {
+        assert!(
+            text.lines().any(|l| l.starts_with(prefix)),
+            "missing {prefix}* lines in:\n{text}"
+        );
+    }
+
+    // Histogram families render their quantile lines with nonzero counts.
+    for metric in ["engine.spawn.latency-ns", "engine.attach.latency-ns"] {
+        for q in ["count", "p50", "p95", "p99", "max"] {
+            assert!(
+                text.lines()
+                    .any(|l| l.starts_with(&format!("{metric}.{q} "))),
+                "missing {metric}.{q} in:\n{text}"
+            );
+        }
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{metric}.count ")))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(count > 0, "{metric} must have recorded samples");
+    }
+
+    // Request accounting is symmetric once the session is torn down.
+    let started = obs::counter_value("fuse.req.started").unwrap();
+    let completed = obs::counter_value("fuse.req.completed").unwrap();
+    assert!(started > 0);
+    assert_eq!(started, completed);
+    assert_eq!(obs::gauge_value("fuse.req.in-flight").unwrap(), 0);
+
+    // ---- A spliced 1 MiB read carries a full trace. ----
+    let clock = SimClock::new();
+    let backing = cntr::fs::memfs::memfs(DevId(900), clock.clone());
+    let transport = Arc::new(ThreadedTransport::new(FsHandler::new(backing), 2));
+    let client = FuseClientFs::mount(
+        DevId(0xAB),
+        clock,
+        CostModel::calibrated(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .unwrap();
+    let st = client
+        .mknod(
+            Ino::ROOT,
+            "big",
+            FileType::Regular,
+            Mode::RW_R__R__,
+            0,
+            &cntr::fs::FsContext::root(),
+        )
+        .unwrap();
+    use cntr::fs::Filesystem;
+    let fh = client.open(st.ino, OpenFlags::RDWR).unwrap();
+    let payload = vec![0x5Au8; 1 << 20];
+    client.write(st.ino, fh, 0, &payload).unwrap();
+
+    let data = client.read_bytes_gather(st.ino, fh, 0, 1 << 20).unwrap();
+    assert_eq!(data.len(), 1 << 20);
+    assert!(data.iter().all(|&b| b == 0x5A));
+
+    // Some trace of that read crossed all four pipeline stages.
+    let bound = obs::trace::next_trace_id();
+    let full = (1..bound)
+        .filter(|&trace| {
+            let stages: Vec<&str> = obs::trace::spans_for(trace)
+                .iter()
+                .map(|r| r.stage)
+                .collect();
+            ["client", "transport", "handler", "storage"]
+                .iter()
+                .all(|s| stages.contains(s))
+        })
+        .count();
+    assert!(
+        full > 0,
+        "no trace crossed client/transport/handler/storage"
+    );
+
+    // The chrome-trace export is well-formed and carries those stages.
+    let json = obs::trace::chrome_json();
+    assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+    for stage in ["client", "transport", "handler", "storage"] {
+        assert!(json.contains(&format!("\"name\":\"{stage}\"")), "{stage}");
+    }
+
+    client.release(st.ino, fh).unwrap();
+}

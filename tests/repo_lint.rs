@@ -17,6 +17,12 @@
 //! 3. No `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` in
 //!    non-test code: shim guards are infallible, so a guard unwrap means a
 //!    std lock snuck in (or poison handling is being skipped).
+//!
+//! A fourth, observability-flavoured pass checks the metric names passed to
+//! `LazyCounter::new` / `LazyGauge::new` / `LazyHistogram::new`: names must
+//! be workspace-unique, kebab/dot-cased (`subsystem.noun-phrase`), and
+//! carry the prefix of the subsystem they register under — `/proc/cntrstats`
+//! is sorted by those names, so a malformed one corrupts the report shape.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -463,6 +469,145 @@ fn repo_obeys_the_lock_discipline() {
         }
         panic!("{msg}");
     }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: observability metric names
+// ---------------------------------------------------------------------
+
+/// A statically registered metric: `(file, line, subsystem variant, name)`.
+struct MetricDecl {
+    file: String,
+    line: usize,
+    subsystem: String,
+    name: String,
+}
+
+/// Extracts every `Lazy{Counter,Gauge,Histogram}::new(Subsystem::X, "...")`
+/// in non-test code. Works on whole-file text because the declarations
+/// routinely wrap across lines under rustfmt.
+fn metric_decls(root: &Path) -> Vec<MetricDecl> {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    rust_files(&root.join("examples"), &mut files);
+    let mut decls = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        // The obs crate's own sources/tests register scratch names to test
+        // the registry machinery; only real subsystems are linted.
+        if rel.starts_with("crates/obs") || rel.contains("/tests/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Test modules end their file in this workspace (rule 2 relies on
+        // the same convention), so everything after the marker is test code.
+        let text = text
+            .split("#[cfg(test)]")
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        for pat in [
+            "LazyCounter::new(",
+            "LazyGauge::new(",
+            "LazyHistogram::new(",
+        ] {
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(pat) {
+                let at = from + pos + pat.len();
+                from = at;
+                let rest = &text[at..];
+                let Some(subsystem) = rest
+                    .trim_start()
+                    .strip_prefix("Subsystem::")
+                    .and_then(|s| s.split([',', ')']).next())
+                else {
+                    continue; // not a literal-subsystem call site
+                };
+                let Some(open) = rest.find('"') else { continue };
+                let Some(len) = rest[open + 1..].find('"') else {
+                    continue;
+                };
+                decls.push(MetricDecl {
+                    file: rel.clone(),
+                    line: text[..at].lines().count(),
+                    subsystem: subsystem.trim().to_string(),
+                    name: rest[open + 1..open + 1 + len].to_string(),
+                });
+            }
+        }
+    }
+    decls
+}
+
+/// `subsystem.noun-phrase[...]`: lowercase alphanumeric segments joined by
+/// `.`, dashes only inside a segment.
+fn is_kebab_dot_cased(name: &str) -> bool {
+    let segment_ok = |s: &str| {
+        !s.is_empty()
+            && s.split('-').all(|w| {
+                !w.is_empty()
+                    && w.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+            })
+    };
+    name.split('.').count() >= 2 && name.split('.').all(segment_ok)
+}
+
+#[test]
+fn obs_metric_names_are_unique_and_well_formed() {
+    let root = repo_root();
+    let decls = metric_decls(&root);
+    assert!(
+        decls.len() >= 20,
+        "metric scanner only found {} declarations — pattern drift?",
+        decls.len()
+    );
+    let prefixes = [
+        ("Fuse", "fuse."),
+        ("PageCache", "pagecache."),
+        ("Overlay", "overlay."),
+        ("Engine", "engine."),
+        ("Lockdep", "lockdep."),
+        ("BlockDev", "blockdev."),
+    ];
+    let mut seen: std::collections::HashMap<&str, &MetricDecl> = std::collections::HashMap::new();
+    let mut problems = Vec::new();
+    for d in &decls {
+        if !is_kebab_dot_cased(&d.name) {
+            problems.push(format!(
+                "{}:{}: metric {:?} is not kebab/dot-cased",
+                d.file, d.line, d.name
+            ));
+        }
+        match prefixes.iter().find(|(v, _)| *v == d.subsystem) {
+            Some((_, prefix)) if !d.name.starts_with(prefix) => problems.push(format!(
+                "{}:{}: metric {:?} must start with {prefix:?} (its Subsystem::{})",
+                d.file, d.line, d.name, d.subsystem
+            )),
+            None => problems.push(format!(
+                "{}:{}: unknown subsystem Subsystem::{} — extend the lint's prefix table",
+                d.file, d.line, d.subsystem
+            )),
+            _ => {}
+        }
+        if let Some(first) = seen.insert(&d.name, d) {
+            problems.push(format!(
+                "{}:{}: metric {:?} already registered at {}:{}",
+                d.file, d.line, d.name, first.file, first.line
+            ));
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "{} metric-name violation(s):\n{}",
+        problems.len(),
+        problems.join("\n")
+    );
 }
 
 #[test]
