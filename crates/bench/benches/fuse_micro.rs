@@ -166,6 +166,93 @@ fn bench_flush_batched_vs_unbatched(c: &mut Criterion) {
     run("pagecache_flush_256p_unbatched", false, c);
 }
 
+/// Raw transport throughput, ring vs threaded: `depth` submitter threads
+/// (the effective queue depth) hammer `transport.call` with small LOOKUPs
+/// for a fixed window. At depth 1 the ring degenerates to one wakeup per
+/// request and should match the threaded channel; at depth ≥ 8 batched
+/// doorbells and multi-reap amortize the per-request synchronization and
+/// the ring should pull ahead.
+fn bench_transport_ring_vs_threaded(_c: &mut Criterion) {
+    use cntr_fuse::conn::ThreadedTransport;
+    use cntr_fuse::proto::{Request, RequestCtx};
+    use cntr_fuse::{RingTransport, Transport};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Barrier;
+    use std::time::{Duration, Instant};
+
+    const WINDOW: Duration = Duration::from_millis(120);
+
+    fn handler() -> FsHandler {
+        FsHandler::new(memfs(DevId(9), SimClock::new()))
+    }
+
+    fn drive(transport: Arc<dyn Transport>, depth: usize) -> f64 {
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(depth + 1));
+        let mut handles = Vec::new();
+        for _ in 0..depth {
+            let transport = Arc::clone(&transport);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    transport.call(Request::Lookup {
+                        parent: Ino::ROOT,
+                        name: "probe".into(),
+                        ctx: RequestCtx::default(),
+                    });
+                    n += 1;
+                }
+                n
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter"))
+            .sum();
+        let ops = total as f64 / start.elapsed().as_secs_f64();
+        transport.shutdown();
+        ops
+    }
+
+    println!("fuse transport: LOOKUP round-trips/sec, threaded vs ring");
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>8}",
+        "workers", "depth", "threaded", "ring", "ring/thr"
+    );
+    for &workers in &[1usize, 2, 4, 8] {
+        for &depth in &[1usize, 8, 64] {
+            let threaded = drive(Arc::new(ThreadedTransport::new(handler(), workers)), depth);
+            // Batch scales with the expected per-ring queue depth:
+            // submitters round-robin across `workers` rings, so each
+            // ring sees ~depth/workers outstanding requests.
+            let ring = drive(
+                Arc::new(RingTransport::new(
+                    handler(),
+                    workers,
+                    depth,
+                    (depth / workers).clamp(1, 16),
+                )),
+                depth,
+            );
+            println!(
+                "{:<8} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+                workers,
+                depth,
+                threaded,
+                ring,
+                ring / threaded.max(1.0)
+            );
+        }
+    }
+}
+
 fn bench_getxattr_uncached(c: &mut Criterion) {
     let fs = mounted();
     let ctx = FsContext::root();
@@ -193,6 +280,7 @@ criterion_group!(
     bench_read_1m_splice_vs_copy,
     bench_write_1m_splice_vs_copy,
     bench_flush_batched_vs_unbatched,
+    bench_transport_ring_vs_threaded,
     bench_getxattr_uncached,
     report_metrics_snapshot
 );

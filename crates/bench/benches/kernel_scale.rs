@@ -151,6 +151,98 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     }
 }
 
+/// FUSE dispatch scaling: a 4 KiB write+read mix through a mounted
+/// `FuseClientFs` at 1..=8 client threads (workers matched to threads),
+/// threaded channel vs io_uring-style ring. The ring's batched doorbells
+/// and multi-reap only pay off when several requests are in flight, so
+/// the interesting cells are the multi-threaded ones.
+fn bench_fuse_transport_scaling(_c: &mut Criterion) {
+    use cntr_fs::Filesystem;
+    use cntr_fuse::conn::ThreadedTransport;
+    use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, RingTransport, Transport};
+    use cntr_types::{CostModel, FileType, Ino};
+
+    const WINDOW: Duration = Duration::from_millis(200);
+
+    fn ops_per_sec(ring: bool, threads: usize, window: Duration) -> f64 {
+        let clock = SimClock::new();
+        let backing = memfs(DevId(50), clock.clone());
+        let handler = FsHandler::new(backing);
+        let transport: Arc<dyn Transport> = if ring {
+            Arc::new(RingTransport::new(handler, threads, 64, 8))
+        } else {
+            Arc::new(ThreadedTransport::new(handler, threads))
+        };
+        let client = FuseClientFs::mount(
+            DevId(0xBE),
+            clock,
+            CostModel::calibrated(),
+            FuseConfig::optimized(),
+            transport,
+        )
+        .expect("mount");
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let client = Arc::clone(&client);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let ctx = cntr_fs::FsContext::root();
+                let st = client
+                    .mknod(
+                        Ino::ROOT,
+                        &format!("b{t}"),
+                        FileType::Regular,
+                        Mode::RW_R__R__,
+                        0,
+                        &ctx,
+                    )
+                    .expect("mknod");
+                let fh = client.open(st.ino, OpenFlags::RDWR).expect("open");
+                let payload = vec![t as u8; 4096];
+                let mut buf = [0u8; 4096];
+                barrier.wait();
+                let mut ops = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let off = (i % 64) * 4096;
+                    client.write(st.ino, fh, off, &payload).expect("write");
+                    client.read(st.ino, fh, off, &mut buf).expect("read");
+                    ops += 2;
+                    i += 1;
+                }
+                client.release(st.ino, fh).expect("release");
+                ops
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+        total as f64 / start.elapsed().as_secs_f64()
+    }
+
+    println!("kernel_scale: FUSE 4k write+read ops/sec, threaded vs ring");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8}",
+        "threads", "threaded", "ring", "ring/thr"
+    );
+    for &t in &[1usize, 2, 4, 8] {
+        let threaded = ops_per_sec(false, t, WINDOW);
+        let ring = ops_per_sec(true, t, WINDOW);
+        println!(
+            "{:<8} {:>14.0} {:>14.0} {:>7.2}x",
+            t,
+            threaded,
+            ring,
+            ring / threaded.max(1.0)
+        );
+    }
+}
+
 /// Single-thread syscall latency on the sharded table (criterion-timed),
 /// the sanity check that fine-grained locking did not tax the fast path.
 fn bench_syscall_latency(c: &mut Criterion) {
@@ -178,6 +270,7 @@ criterion_group!(
     benches,
     bench_syscall_latency,
     bench_shard_scaling,
+    bench_fuse_transport_scaling,
     report_metrics_snapshot
 );
 criterion_main!(benches);

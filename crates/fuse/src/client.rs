@@ -187,10 +187,18 @@ impl FuseClientFs {
         if f.splice_write && matches!(req, Request::Write { .. }) {
             ns += self.cost.ctx_switch_ns;
         }
-        // Worker synchronization overhead grows with the thread count.
+        // Worker synchronization overhead grows with the thread count. With
+        // the ring negotiated, the doorbell amortizes that per-request
+        // wakeup across the submission batch (the point of
+        // FUSE-over-io_uring), so each request pays only its share.
         let workers = self.config.workers.max(1) as u64;
         if workers > 1 {
-            ns += self.cost.mt_sync_ns * workers.ilog2() as u64;
+            let sync = self.cost.mt_sync_ns * workers.ilog2() as u64;
+            ns += if f.ring {
+                sync / self.config.ring_batch.max(1) as u64
+            } else {
+                sync
+            };
         }
         let req_bytes = req.wire_bytes() as u64;
         ns += if matches!(req, Request::Write { .. }) && f.splice_write {

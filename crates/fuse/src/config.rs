@@ -20,6 +20,13 @@ pub struct FuseConfig {
     /// Metadata pipeline depth when `parallel_dirops` is on: how many
     /// lookup round trips the kernel keeps in flight.
     pub meta_pipeline: usize,
+    /// Per-worker submission/completion ring capacity when the `ring`
+    /// flag is negotiated (entries; io_uring's `sq_entries` analog).
+    pub ring_depth: usize,
+    /// Submissions accumulated before the doorbell rings when the worker
+    /// is already busy (adaptive flush still fires immediately on a parked
+    /// worker or a sync-op boundary).
+    pub ring_batch: usize,
 }
 
 impl FuseConfig {
@@ -35,6 +42,8 @@ impl FuseConfig {
             attr_cache_cap: 65_536,
             forget_batch: 64,
             meta_pipeline: 4,
+            ring_depth: 64,
+            ring_batch: 8,
         }
     }
 
@@ -60,6 +69,8 @@ impl FuseConfig {
             attr_cache_cap: 65_536,
             forget_batch: 64,
             meta_pipeline: 1,
+            ring_depth: 1,
+            ring_batch: 1,
         }
     }
 
@@ -74,6 +85,14 @@ impl FuseConfig {
     #[must_use]
     pub const fn with_workers(mut self, workers: usize) -> FuseConfig {
         self.workers = workers;
+        self
+    }
+
+    /// Returns a copy with different ring batching knobs.
+    #[must_use]
+    pub const fn with_ring(mut self, depth: usize, batch: usize) -> FuseConfig {
+        self.ring_depth = depth;
+        self.ring_batch = batch;
         self
     }
 }
@@ -102,7 +121,11 @@ mod tests {
             !p.flags.splice_write,
             "paper profile keeps splice-write off"
         );
+        assert!(!p.flags.ring, "paper profile keeps the ring transport off");
         assert_eq!(p.workers, o.workers);
+        assert!(o.flags.ring, "shipping default negotiates the ring");
+        assert_eq!(o.ring_depth, 64);
+        assert_eq!(o.ring_batch, 8);
     }
 
     #[test]
@@ -114,5 +137,7 @@ mod tests {
         let c = FuseConfig::optimized().with_flags(f);
         assert!(!c.flags.keep_cache);
         assert!(c.flags.writeback_cache);
+        let c = FuseConfig::optimized().with_ring(128, 16);
+        assert_eq!((c.ring_depth, c.ring_batch), (128, 16));
     }
 }

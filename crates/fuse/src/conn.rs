@@ -1,7 +1,7 @@
 //! The `/dev/fuse` connection: request transport between the kernel half
 //! and the userspace server.
 //!
-//! Two transports share one interface:
+//! Three transports share one interface:
 //!
 //! * [`InlineTransport`] executes the handler on the calling thread. All
 //!   timing is charged through the virtual clock by the client and the
@@ -10,6 +10,10 @@
 //!   channel — the shape of a real FUSE daemon's read loop ("CNTR spawns
 //!   independent threads to read from the CNTRFS file descriptor", §3.3).
 //!   Used by stress tests to shake out synchronization bugs.
+//! * [`RingTransport`](crate::ring::RingTransport) (in [`crate::ring`])
+//!   feeds per-worker submission/completion ring pairs with batched
+//!   doorbells, amortizing wakeups across many requests the way
+//!   FUSE-over-io_uring does.
 
 use crate::proto::{Opcode, Reply, Request};
 use crate::server::FuseHandler;
@@ -55,13 +59,13 @@ fn op_metrics(op: Opcode) -> &'static OpMetrics {
 /// in-flight gauge up for its lifetime, and records the per-opcode
 /// round-trip latency on drop (panic-safe, so `started == completed` holds
 /// even across handler panics).
-struct ReqGuard {
+pub(crate) struct ReqGuard {
     latency: &'static obs::Histogram,
     start_ns: u64,
 }
 
 impl ReqGuard {
-    fn begin(op: Opcode) -> ReqGuard {
+    pub(crate) fn begin(op: Opcode) -> ReqGuard {
         REQ_STARTED.inc();
         QUEUE_DEPTH.inc();
         let m = op_metrics(op);
@@ -137,8 +141,12 @@ impl ConnSnapshot {
 }
 
 impl ConnStats {
-    fn record(&self, req: &Request, reply: &Reply) {
-        let counter = match req.opcode() {
+    /// Records one round trip. Takes the opcode and request wire size
+    /// captured *before* dispatch — the hot path hands the `Request`
+    /// itself to the handler by value, so transports no longer clone every
+    /// request just to inspect it after the reply comes back.
+    pub(crate) fn record(&self, op: Opcode, req_bytes: usize, reply: &Reply) {
+        let counter = match op {
             Opcode::Lookup => &self.lookups,
             Opcode::Getattr => &self.getattrs,
             Opcode::Read => &self.reads,
@@ -149,8 +157,7 @@ impl ConnStats {
             _ => &self.others,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        self.bytes_in
-            .fetch_add(req.wire_bytes() as u64, Ordering::Relaxed);
+        self.bytes_in.fetch_add(req_bytes as u64, Ordering::Relaxed);
         self.bytes_out
             .fetch_add(reply.wire_bytes() as u64, Ordering::Relaxed);
     }
@@ -227,12 +234,13 @@ impl<H: FuseHandler> Transport for InlineTransport<H> {
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
-        let _req_guard = ReqGuard::begin(req.opcode());
+        let (op, req_bytes) = (req.opcode(), req.wire_bytes());
+        let _req_guard = ReqGuard::begin(op);
         let reply = {
             let _span = Span::start("handler");
-            self.handler.handle(req.clone())
+            self.handler.handle(req)
         };
-        self.stats.record(&req, &reply);
+        self.stats.record(op, req_bytes, &reply);
         reply
     }
 
@@ -257,9 +265,15 @@ type Job = (Request, Sender<Reply>, u64);
 /// Connection ids for worker re-entrancy detection (0 = not a worker).
 static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Allocates a fresh connection id (shared with [`crate::ring`] so ring and
+/// threaded connections draw from one namespace).
+pub(crate) fn next_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     /// The connection id this thread serves as a worker, if any.
-    static WORKER_OF: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    pub(crate) static WORKER_OF: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Real-thread transport: `workers` threads pull requests off a shared
@@ -284,7 +298,7 @@ pub struct ThreadedTransport {
 impl ThreadedTransport {
     /// Spawns `workers` threads serving `handler`.
     pub fn new<H: FuseHandler + Clone + 'static>(handler: H, workers: usize) -> ThreadedTransport {
-        let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+        let id = next_conn_id();
         let (tx, rx) = unbounded::<Job>();
         let alive = Arc::new(AtomicBool::new(true));
         let stats = Arc::new(ConnStats::default());
@@ -299,11 +313,12 @@ impl ThreadedTransport {
                         // Adopt the submitter's trace so handler/storage
                         // spans land on the right request.
                         let _scope = TraceScope::enter(trace);
+                        let (op, req_bytes) = (req.opcode(), req.wire_bytes());
                         let reply = {
                             let _span = Span::start_for(trace, "handler");
-                            handler.handle(req.clone())
+                            handler.handle(req)
                         };
-                        stats.record(&req, &reply);
+                        stats.record(op, req_bytes, &reply);
                         let _ = reply_tx.send(reply);
                     }
                 })
@@ -347,15 +362,16 @@ impl Transport for ThreadedTransport {
         if !self.alive.load(Ordering::Acquire) {
             return Reply::Err(Errno::ENOTCONN);
         }
-        let _req_guard = ReqGuard::begin(req.opcode());
+        let (op, req_bytes) = (req.opcode(), req.wire_bytes());
+        let _req_guard = ReqGuard::begin(op);
         if WORKER_OF.with(std::cell::Cell::get) == self.id {
             // Re-entrant request from one of our own workers: execute it on
             // this thread rather than deadlocking the pool (see type docs).
             let reply = {
                 let _span = Span::start("handler");
-                (self.reentrant)(req.clone())
+                (self.reentrant)(req)
             };
-            self.stats.record(&req, &reply);
+            self.stats.record(op, req_bytes, &reply);
             return reply;
         }
         // The transport span covers queue + park + wake: everything between

@@ -9,10 +9,14 @@
 //!   and the INIT negotiation flags behind every §3.3 optimization
 //!   (`FUSE_WRITEBACK_CACHE`, `FUSE_PARALLEL_DIROPS`, `FUSE_ASYNC_READ`,
 //!   splice, batched `FORGET`),
-//! * [`conn`] — the `/dev/fuse` queue with two transports: **inline**
-//!   (deterministic, same-thread) and **threaded** (real worker threads
-//!   over crossbeam channels, with FUSE-writeback re-entrancy avoidance —
-//!   used by the Figure 4 runner and the concurrency stress tests),
+//! * [`conn`] — the `/dev/fuse` queue with the [`conn::Transport`] trait
+//!   and two of its three implementations: **inline** (deterministic,
+//!   same-thread) and **threaded** (real worker threads over crossbeam
+//!   channels, with FUSE-writeback re-entrancy avoidance — used by the
+//!   Figure 4 runner and the concurrency stress tests),
+//! * [`ring`] — the third transport, FUSE-over-io_uring style: per-worker
+//!   submission/completion ring pairs, batched doorbells, multi-reap
+//!   completions — one worker wakeup serves many requests,
 //! * [`client`] — the kernel half: a [`cntr_fs::Filesystem`] implementation
 //!   that turns VFS calls into FUSE requests, with entry/attr caches,
 //!   readahead, forget batching and the cost accounting that makes the
@@ -29,6 +33,7 @@ pub mod client;
 pub mod config;
 pub mod conn;
 pub mod proto;
+pub mod ring;
 pub mod server;
 pub mod testing;
 
@@ -36,5 +41,6 @@ pub use client::FuseClientFs;
 pub use config::FuseConfig;
 pub use conn::{ConnStats, InlineTransport, ThreadedTransport, Transport};
 pub use proto::{InitFlags, Opcode, Reply, Request};
+pub use ring::RingTransport;
 pub use server::{FsHandler, FuseHandler};
 pub use testing::{copies_along, CountingTransport, InstrumentedFs, PayloadLog};

@@ -143,6 +143,12 @@ pub struct InitFlags {
     pub splice_write: bool,
     /// `FUSE_BATCH_FORGET` support.
     pub batch_forget: bool,
+    /// FUSE-over-io_uring style shared submission/completion rings
+    /// (`FUSE_IO_URING`): the client batches submissions and a worker reaps
+    /// many completions per wakeup instead of paying one wakeup per
+    /// request. Post-dates the paper, so [`InitFlags::paper_legacy`] keeps
+    /// it off — same pattern as splice-write.
+    pub ring: bool,
 }
 
 impl InitFlags {
@@ -163,12 +169,14 @@ impl InitFlags {
             splice_read: true,
             splice_write: true,
             batch_forget: true,
+            ring: true,
         }
     }
 
     /// CNTR's shipping defaults *as published* (§3.3): everything on except
-    /// splice-write. The paper-figure reproductions (`cntr-phoronix`) pin
-    /// this profile so Figures 2–4 keep the published calibration.
+    /// splice-write and the (post-paper) ring transport bit. The
+    /// paper-figure reproductions (`cntr-phoronix`) pin this profile so
+    /// Figures 2–4 keep the published calibration.
     pub const fn paper_legacy() -> InitFlags {
         InitFlags {
             writeback_cache: true,
@@ -178,6 +186,7 @@ impl InitFlags {
             splice_read: true,
             splice_write: false,
             batch_forget: true,
+            ring: false,
         }
     }
 
@@ -191,6 +200,7 @@ impl InitFlags {
             splice_read: false,
             splice_write: false,
             batch_forget: false,
+            ring: false,
         }
     }
 
@@ -204,6 +214,7 @@ impl InitFlags {
             splice_read: true,
             splice_write: true,
             batch_forget: true,
+            ring: true,
         }
     }
 
@@ -218,6 +229,7 @@ impl InitFlags {
             splice_read: self.splice_read && other.splice_read,
             splice_write: self.splice_write && other.splice_write,
             batch_forget: self.batch_forget && other.batch_forget,
+            ring: self.ring && other.ring,
         }
     }
 }
@@ -644,9 +656,11 @@ mod tests {
     fn paper_legacy_profile_matches_published_defaults() {
         let legacy = InitFlags::paper_legacy();
         assert!(!legacy.splice_write, "the paper shipped splice-write off");
+        assert!(!legacy.ring, "ring transport post-dates the paper");
         // Identical to the shipping default in every other flag.
         let mut modern = InitFlags::cntr_default();
         modern.splice_write = false;
+        modern.ring = false;
         assert_eq!(legacy, modern);
     }
 

@@ -278,10 +278,12 @@ fn stress_fork_exec_attach_umount_across_containers() {
         "every lookup is exactly one hit or one miss"
     );
 
-    // A threaded-FUSE bout after the stress: request accounting must be
-    // symmetric (started == completed) and the in-flight gauge must drain
-    // back to zero once every worker went home.
+    // A threaded-FUSE bout and a ring-FUSE bout after the stress: request
+    // accounting must be symmetric (started == completed) across both
+    // dispatch shapes and the in-flight gauge must drain back to zero once
+    // every worker went home.
     fuse_request_accounting_bout();
+    fuse_ring_accounting_bout();
     let started = obs::counter_value("fuse.req.started").unwrap_or(0);
     let completed = obs::counter_value("fuse.req.completed").unwrap_or(0);
     assert!(started > 0, "the FUSE bout must have issued requests");
@@ -290,6 +292,11 @@ fn stress_fork_exec_attach_umount_across_containers() {
         obs::gauge_value("fuse.req.in-flight").unwrap_or(0),
         0,
         "queue depth must return to zero at quiescence"
+    );
+    assert_eq!(
+        obs::gauge_value("fuse.ring.queue-depth").unwrap_or(0),
+        0,
+        "submission rings must drain back to empty at quiescence"
     );
 }
 
@@ -339,5 +346,56 @@ fn fuse_request_accounting_bout() {
     }
     for h in handles {
         h.join().expect("fuse bout thread must not panic");
+    }
+}
+
+/// The same hammering through the io_uring-style ring transport: batched
+/// doorbells and multi-reap must preserve the exact accounting symmetry
+/// the threaded path has, under the lockdep checkpoints at the ring's
+/// park/reap points.
+fn fuse_ring_accounting_bout() {
+    use cntr_fs::Filesystem;
+    use cntr_fuse::{FsHandler, FuseClientFs, FuseConfig, RingTransport};
+    use cntr_types::{CostModel, FileType, Ino};
+
+    let clock = SimClock::new();
+    let backing = memfs(DevId(7_001), clock.clone());
+    let transport = Arc::new(RingTransport::new(FsHandler::new(backing), 4, 64, 8));
+    let client = FuseClientFs::mount(
+        DevId(0xF1),
+        clock,
+        CostModel::calibrated(),
+        FuseConfig::optimized(),
+        transport,
+    )
+    .expect("fuse mount over ring");
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let client = Arc::clone(&client);
+        handles.push(std::thread::spawn(move || {
+            let ctx = cntr_fs::FsContext::root();
+            let st = client
+                .mknod(
+                    Ino::ROOT,
+                    &format!("r{t}"),
+                    FileType::Regular,
+                    Mode::RW_R__R__,
+                    0,
+                    &ctx,
+                )
+                .expect("mknod");
+            let fh = client.open(st.ino, OpenFlags::RDWR).expect("open");
+            let payload = vec![t as u8; 4096];
+            for i in 0..32u64 {
+                client.write(st.ino, fh, i * 4096, &payload).expect("write");
+                let mut buf = [0u8; 4096];
+                client.read(st.ino, fh, i * 4096, &mut buf).expect("read");
+            }
+            client.release(st.ino, fh).expect("release");
+        }));
+    }
+    for h in handles {
+        h.join().expect("ring bout thread must not panic");
     }
 }

@@ -200,3 +200,87 @@ fn batched_writeback_survives_threaded_reentrancy() {
          was queued behind itself instead of executing inline",
     );
 }
+
+/// The same re-entrancy trap over the io_uring-style ring transport: a
+/// single reaper with a depth-8 SQ and batched doorbells. A worker whose
+/// handler re-enters `call` would queue the request on its own ring and
+/// park behind it forever — the ring must execute worker-originated
+/// requests inline exactly like the threaded path.
+#[test]
+fn batched_writeback_survives_ring_reentrancy() {
+    use cntr_fuse::RingTransport;
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let clock = SimClock::new();
+        let backing = memfs(DevId(6), clock.clone());
+        let transport_slot = Arc::new(Mutex::new(None));
+        let handler = ReentrantHandler {
+            inner: FsHandler::new(backing),
+            transport: Arc::clone(&transport_slot),
+        };
+        // One reaper: a queued re-entrant request can never be served.
+        let transport = Arc::new(RingTransport::new(handler, 1, 8, 4));
+        *transport_slot.lock() = Some(Arc::clone(&transport) as Arc<dyn Transport>);
+        let client = FuseClientFs::mount(
+            DevId(0xC2),
+            clock.clone(),
+            CostModel::calibrated(),
+            FuseConfig::optimized(),
+            transport,
+        )
+        .unwrap();
+        let st = client
+            .mknod(
+                Ino::ROOT,
+                "wb",
+                FileType::Regular,
+                Mode::RW_R__R__,
+                0,
+                &FsContext::root(),
+            )
+            .unwrap();
+        let fh = client.open(st.ino, OpenFlags::RDWR).unwrap();
+        let cache = Arc::new(
+            PageCache::new(clock, CostModel::calibrated(), 64 << 20, 8 * PAGE as u64)
+                .with_coalesce(true),
+        );
+        let dev = DevId(0xC2);
+        let fref = Arc::new(FileRef {
+            fs: Arc::clone(&client) as Arc<dyn Filesystem>,
+            ino: st.ino,
+            fh,
+        });
+        let mode = CacheMode::native();
+        let payload = vec![0xCDu8; 16 * PAGE];
+        for round in 0..8u64 {
+            cache
+                .write(dev, mode, &fref, round * payload.len() as u64, &payload)
+                .unwrap();
+        }
+        cache.fsync(dev, &fref, false).unwrap();
+        assert_eq!(cache.dirty_bytes(), 0);
+        assert_eq!(
+            client.getattr(st.ino).unwrap().size,
+            8 * 16 * PAGE as u64,
+            "batched write-back must deliver every run over the ring"
+        );
+        let mut buf = vec![0u8; PAGE];
+        cache.read(dev, mode, &fref, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xCD));
+        let stats = cache.stats();
+        assert!(stats.flush_batches > 0);
+        assert!(
+            stats.flush_batches < stats.flushed_pages,
+            "write-back stayed batched under the ring transport: \
+             batches={} pages={}",
+            stats.flush_batches,
+            stats.flushed_pages
+        );
+        tx.send(()).unwrap();
+    });
+    rx.recv_timeout(Duration::from_secs(60)).expect(
+        "deadlock: a reaper-originated (re-entrant) write-back request \
+         was queued on its own submission ring instead of executing inline",
+    );
+}

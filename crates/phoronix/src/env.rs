@@ -4,7 +4,9 @@ use cntr_blockdev::{BlockDevice, DiskModel};
 use cntr_core::CntrfsServer;
 use cntr_fs::diskfs::diskfs_on;
 use cntr_fs::memfs::memfs;
-use cntr_fuse::{FuseClientFs, FuseConfig, InlineTransport, ThreadedTransport, Transport};
+use cntr_fuse::{
+    FuseClientFs, FuseConfig, InlineTransport, RingTransport, ThreadedTransport, Transport,
+};
 use cntr_kernel::kernel::KernelConfig;
 use cntr_kernel::{CacheMode, Kernel, MountFlags};
 use cntr_types::{DevId, Errno, Mode, OpenFlags, Pid, SimClock, SysResult, Timespec};
@@ -24,6 +26,12 @@ pub enum Target {
     /// is unchanged (one request in flight per caller), so results stay
     /// deterministic while every request crosses a real thread boundary.
     CntrfsThreaded(FuseConfig),
+    /// Through CntrFS over the io_uring-style [`RingTransport`]: real
+    /// worker threads behind per-worker submission/completion rings with
+    /// batched doorbells (`config.ring_depth`/`config.ring_batch`).
+    /// Virtual-time accounting mirrors [`Target::CntrfsThreaded`] except
+    /// the per-request worker-sync cost amortizes over the batch.
+    CntrfsRing(FuseConfig),
 }
 
 /// A benchmark machine: gp2-backed `/data`, optionally re-exported through
@@ -81,13 +89,16 @@ impl PerfEnv {
                 device,
                 client: None,
             },
-            Target::Cntrfs(config) | Target::CntrfsThreaded(config) => {
+            Target::Cntrfs(config)
+            | Target::CntrfsThreaded(config)
+            | Target::CntrfsRing(config) => {
                 let server_pid = kernel.fork(Pid::INIT).expect("fork server");
                 let server = CntrfsServer::new(kernel.clone(), server_pid);
                 let transport: Arc<dyn Transport> = match target {
                     Target::CntrfsThreaded(_) => {
                         Arc::new(ThreadedTransport::new(server, config.workers))
                     }
+                    Target::CntrfsRing(_) => Arc::new(RingTransport::from_config(server, &config)),
                     _ => InlineTransport::new(server),
                 };
                 let client =
