@@ -408,13 +408,18 @@ fn mkdir_p(k: &Kernel, pid: Pid, path: &str) -> SysResult<()> {
 /// Builds a host kernel suitable for container workloads: a tmpfs root with
 /// the standard directory skeleton and mounted `/proc`.
 pub fn boot_host(clock: cntr_types::SimClock) -> Kernel {
+    boot_host_with(clock, cntr_kernel::kernel::KernelConfig::default())
+}
+
+/// [`boot_host`] with an explicit [`cntr_kernel::kernel::KernelConfig`] —
+/// the memory-bound stress tests shrink `page_cache_limit` and flip
+/// `background_writeback` through here.
+pub fn boot_host_with(
+    clock: cntr_types::SimClock,
+    config: cntr_kernel::kernel::KernelConfig,
+) -> Kernel {
     let root = memfs(DevId(1), clock.clone());
-    let k = Kernel::with_clock(
-        clock,
-        root,
-        CacheMode::native(),
-        cntr_kernel::kernel::KernelConfig::default(),
-    );
+    let k = Kernel::with_clock(clock, root, CacheMode::native(), config);
     for d in [
         "/proc", "/dev", "/etc", "/var", "/var/lib", "/tmp", "/usr", "/usr/bin", "/run",
     ] {

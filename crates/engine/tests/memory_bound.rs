@@ -1,0 +1,101 @@
+//! Engine-matrix plumbing for the memory-bounded page cache: a host booted
+//! through [`boot_host_with`] with a deliberately tiny `page_cache_limit`
+//! runs real containers whose combined writes exceed the ceiling several
+//! times over — residency must stay bounded and every byte must survive
+//! the writeback-then-evict path.
+
+use cntr_engine::runtime::boot_host_with;
+use cntr_engine::{ContainerRuntime, EngineKind, ImageBuilder, Registry};
+use cntr_kernel::kernel::KernelConfig;
+use cntr_types::{Mode, OpenFlags, SimClock};
+use std::sync::Arc;
+
+const PAGE: usize = 4096;
+const CEILING_PAGES: usize = 256; // 1 MiB
+const CONTAINERS: usize = 8;
+const PAGES_PER_CONTAINER: usize = 128; // 8 × 128 = 4× the ceiling
+
+fn registry_with_image() -> Arc<Registry> {
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("db", "1")
+            .layer("base")
+            .binary("/bin/sh", 100_000, &[])
+            .entrypoint("/bin/sh")
+            .build(),
+    );
+    registry
+}
+
+fn payload(container: usize, page: usize) -> Vec<u8> {
+    (0..PAGE)
+        .map(|i| (container * 37 + page * 13 + i) as u8 ^ 0x5C)
+        .collect()
+}
+
+#[test]
+fn containers_under_a_tight_ceiling_stay_bounded_and_lossless() {
+    let kernel = boot_host_with(
+        SimClock::new(),
+        KernelConfig {
+            page_cache_limit: (CEILING_PAGES * PAGE) as u64,
+            dirty_bytes: (64 * PAGE) as u64,
+            background_writeback: false,
+            ..KernelConfig::default()
+        },
+    );
+    let limit = kernel.page_cache_capacity_pages();
+    assert_eq!(limit, CEILING_PAGES, "the config must reach the cache");
+
+    let rt = ContainerRuntime::new(EngineKind::Docker, kernel.clone(), registry_with_image());
+    let pids: Vec<_> = (0..CONTAINERS)
+        .map(|i| rt.run(&format!("c{i}"), "db:1").unwrap().pid)
+        .collect();
+
+    // Each container streams its upper-layer writes through the shared
+    // page cache; the bound must hold at every step, not just at the end.
+    for (i, &pid) in pids.iter().enumerate() {
+        let fd = kernel
+            .open(
+                pid,
+                "/tmp/data",
+                OpenFlags::RDWR.with(OpenFlags::CREAT),
+                Mode::RW_R__R__,
+            )
+            .unwrap();
+        for page in 0..PAGES_PER_CONTAINER {
+            kernel
+                .pwrite(pid, fd, (page * PAGE) as u64, &payload(i, page))
+                .unwrap();
+            let resident = kernel.page_cache_resident_pages();
+            assert!(
+                resident <= limit,
+                "resident {resident} > ceiling {limit} (container {i}, page {page})"
+            );
+        }
+        kernel.close(pid, fd).unwrap();
+    }
+    let stats = kernel.page_cache_stats();
+    assert!(stats.evictions > 0, "4× overcommit must evict");
+    assert!(stats.flushed_pages > 0, "dirty pages shrink via write-back");
+
+    // Byte-identical readback per container — the upper layers are
+    // private, so cross-container page mixups would surface here too.
+    let mut buf = vec![0u8; PAGE];
+    for (i, &pid) in pids.iter().enumerate() {
+        let fd = kernel
+            .open(pid, "/tmp/data", OpenFlags::RDONLY, Mode::RW_R__R__)
+            .unwrap();
+        for page in 0..PAGES_PER_CONTAINER {
+            assert_eq!(
+                kernel
+                    .pread(pid, fd, (page * PAGE) as u64, &mut buf)
+                    .unwrap(),
+                PAGE
+            );
+            assert_eq!(buf, payload(i, page), "container {i} page {page} corrupted");
+            assert!(kernel.page_cache_resident_pages() <= limit);
+        }
+        kernel.close(pid, fd).unwrap();
+    }
+}

@@ -33,7 +33,7 @@
 //! `cntr_default` on, `paper_legacy` off, same pattern as splice-write.
 //!
 //! Lock discipline: the ring's three lock classes rank *above* the
-//! kernel's groups 0–3 (see [`lock_class`]), so teardown paths that reach
+//! kernel's groups 0–5 (see [`lock_class`]), so teardown paths that reach
 //! the transport while a ranked kernel lock is held stay
 //! ascending-legal, and the park/reap points carry the same
 //! `lockdep::assert_no_locks_held_except` checkpoints as the other
@@ -68,23 +68,30 @@ static REAPED: LazyHistogram = LazyHistogram::new(Subsystem::Fuse, "fuse.ring.re
 /// lock still earns its keep.
 pub mod lock_class {
     /// SQ teardown state: serializes shutdown drains
-    /// (`Ring::fail_pending`) — rank 4.
+    /// (`Ring::fail_pending`) — rank 6.
     pub const SQ_STATE: &str = "fuse.ring.sq-state";
-    /// The reaper parking lot (worker thread handle) — rank 5.
+    /// The reaper parking lot (worker thread handle) — rank 7.
     pub const PARK_LOT: &str = "fuse.ring.park-lot";
-    /// One completion slot's reply cell — leaf rank 6.
+    /// One completion slot's reply cell — leaf rank 8.
     pub const CQ_SLOT: &str = "fuse.ring.cq-slot";
 }
 
 /// Encodes the ring's lock ordering into the lockdep checker: SQ teardown
 /// state, then the parking lot, then completion slots, all ranked above
-/// the kernel's groups 0–3 so a transport entered under a ranked kernel
+/// the kernel's groups 0–5 so a transport entered under a ranked kernel
 /// lock (`kernel.fd_offset` excepted at the checkpoints) still acquires
-/// ascending. Idempotent; runs on every transport construction.
+/// ascending. In particular the page-cache classes (groups 4–5) sit
+/// below: background write-back enters the ring with no lock held, while
+/// no ring path ever reaches back into the cache. Idempotent; runs on
+/// every transport construction.
 fn declare_ring_lock_discipline() {
     lockdep::ordering(&[
-        // Groups 0–3 belong to the kernel table
-        // (`cntr_kernel::table::lock_class`); leave them untouched.
+        // Groups 0–5 belong to the kernel table
+        // (`cntr_kernel::table::lock_class`: the subsystem locks in 0–3,
+        // the page-cache LRU and flusher classes in 4–5); leave them
+        // untouched.
+        &[],
+        &[],
         &[],
         &[],
         &[],

@@ -100,6 +100,18 @@ pub mod lock_class {
     /// Namespace refcounts (leaf rank; the rule-4 exception — may nest
     /// under a process shard, never acquires anything itself).
     pub const NS_REFS: &str = "kernel.ns_refs";
+    /// The page-cache LRU state (rank 4): page slots, the active/inactive
+    /// lists and the per-file dirty indexes. Ranked *above* every subsystem
+    /// lock so teardown paths (namespace GC, unmount) that reach the cache
+    /// while a ranked kernel lock is held stay ascending-legal; nothing is
+    /// ever acquired while holding it — every fill, write-back and
+    /// `FileRef` drop happens after it is released.
+    pub const PAGECACHE_LRU: &str = "pagecache.lru";
+    /// The background-flusher control block (rank 5): thread handle of the
+    /// kworker-style write-back thread. Taken only to spawn or wake the
+    /// flusher — never while the flusher itself runs, and never across its
+    /// park point.
+    pub const PAGECACHE_FLUSHER: &str = "pagecache.flusher";
 }
 
 /// Encodes the module-level lock-ordering discipline into the lockdep
@@ -125,6 +137,8 @@ pub(crate) fn declare_lock_discipline() {
             lock_class::FANOTIFY,
             lock_class::NS_REFS,
         ],
+        &[lock_class::PAGECACHE_LRU],
+        &[lock_class::PAGECACHE_FLUSHER],
     ]);
 }
 

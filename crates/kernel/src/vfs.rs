@@ -1336,8 +1336,10 @@ impl Kernel {
             return Err(Errno::EPERM);
         }
         let at = self.resolve(pid, path, true)?;
-        // Flush dirty pages belonging to this filesystem before detach.
-        self.inner.page_cache.sync_all()?;
+        // Flush this filesystem's dirty pages before detach — only this
+        // one's: unmounting one container must not drain (or fail on)
+        // every other container's dirty data.
+        self.inner.page_cache.sync_dev(at.fs.fs_id())?;
         let ns_id = self.with_proc(pid, |p| Ok(p.ns.mount))?;
         self.inner.mounts.with_write(ns_id, |ns| {
             let m = ns.get(at.loc.mount)?;

@@ -82,9 +82,15 @@ impl Env {
         let clock = SimClock::new();
         let root = memfs(DevId(1), clock.clone());
         let config = KernelConfig {
-            // A small dirty limit forces background write-back mid-sequence,
-            // so batched and unbatched flushes interleave with the ops.
-            dirty_limit_bytes: 48 * PAGE,
+            // A ceiling smaller than the op space's total footprint keeps
+            // LRU reclaim (writeback-then-evict) running mid-sequence, and
+            // a small dirty limit forces write-back too, so batched and
+            // unbatched flushes interleave with the ops. The flusher stays
+            // off: every flush happens at a deterministic point, which the
+            // replay-comparison oracle depends on.
+            page_cache_limit: 240 * PAGE,
+            dirty_bytes: 48 * PAGE,
+            background_writeback: false,
             coalesce_writeback: coalesce,
             ..KernelConfig::default()
         };
@@ -129,11 +135,19 @@ impl Env {
     fn native() -> Env {
         let clock = SimClock::new();
         let root = memfs(DevId(1), clock.clone());
+        // The oracle runs under the same tight ceiling as the FUSE
+        // configurations (reclaim enabled, deterministic inline flush), so
+        // a reclaim-path divergence shows up on either side.
         let k = Kernel::with_clock(
             clock.clone(),
             root,
             CacheMode::native(),
-            KernelConfig::default(),
+            KernelConfig {
+                page_cache_limit: 240 * PAGE,
+                dirty_bytes: 48 * PAGE,
+                background_writeback: false,
+                ..KernelConfig::default()
+            },
         );
         let pid = k.fork(Pid::INIT).expect("fork");
         k.mkdir(pid, "/mnt", Mode::RWXR_XR_X).expect("mkdir");

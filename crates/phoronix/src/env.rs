@@ -52,8 +52,11 @@ pub struct PerfEnv {
 impl PerfEnv {
     /// Builds an environment for `target`. All file content is synthetic
     /// (timing-only), so multi-gigabyte workloads cost no real memory.
+    /// Runs under [`KernelConfig::paper_legacy`]: the published testbed's
+    /// 12 GiB cache and inline (flusher-less) write-back, so the figure
+    /// bands stay byte-exact against the paper profile.
     pub fn build(target: Target) -> PerfEnv {
-        PerfEnv::build_with_cache(target, KernelConfig::default().page_cache_bytes)
+        PerfEnv::build_with_cache(target, KernelConfig::paper_legacy().page_cache_limit)
     }
 
     /// Like [`PerfEnv::build`] with an explicit page-cache capacity — the
@@ -64,8 +67,8 @@ impl PerfEnv {
         let clock = SimClock::new();
         let root = memfs(DevId(1), clock.clone());
         let config = KernelConfig {
-            page_cache_bytes,
-            ..KernelConfig::default()
+            page_cache_limit: page_cache_bytes,
+            ..KernelConfig::paper_legacy()
         };
         let kernel = Kernel::with_clock(clock.clone(), root, CacheMode::native(), config);
         let pid = kernel.fork(Pid::INIT).expect("fork workload proc");
