@@ -1,0 +1,200 @@
+//! `attach_scale`: wall-clock cost of the shared attach plane.
+//!
+//! Two questions the epoll rebuild answers (ISSUE: concurrent attach
+//! plane at scale), measured in real time over the simulated kernel:
+//!
+//! 1. **Setup latency** — what one more attach session costs while a
+//!    plane already hosts many: container launch + full attach
+//!    workflow + socket-forward registration on the live loop.
+//! 2. **Streaming throughput** — bytes/sec through the plane while 10,
+//!    100, and 1000 sessions each round-trip payloads over their
+//!    forwarded sockets. The single event loop makes this scale with
+//!    live *traffic*, not with the total endpoint population: idle
+//!    sessions cost nothing per wait.
+//!
+//! CI tees the output into the bench artifact next to the other
+//! criterion runs.
+
+use cntr_core::{Cntr, CntrOptions};
+use cntr_engine::image::ImageBuilder;
+use cntr_engine::runtime::boot_host;
+use cntr_engine::{ContainerRuntime, Registry};
+use cntr_kernel::Kernel;
+use cntr_types::{Mode, OpenFlags, Pid, SimClock};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SVC_PATH: &str = "/run/bench-svc.sock";
+
+fn host() -> Kernel {
+    let kernel = boot_host(SimClock::new());
+    let fd = kernel
+        .open(
+            Pid::INIT,
+            "/usr/bin/ls",
+            OpenFlags::create(),
+            Mode::RWXR_XR_X,
+        )
+        .unwrap();
+    kernel.write_fd(Pid::INIT, fd, b"tool").unwrap();
+    kernel.close(Pid::INIT, fd).unwrap();
+    kernel.setenv(Pid::INIT, "PATH", "/usr/bin").unwrap();
+    kernel
+}
+
+fn registry() -> Arc<Registry> {
+    let registry = Registry::new();
+    registry.push(
+        ImageBuilder::new("app", "slim")
+            .layer("app")
+            .binary("/usr/local/bin/app", 500_000, &[])
+            .entrypoint("/usr/local/bin/app")
+            .build(),
+    );
+    registry
+}
+
+/// A fleet of `n` attach sessions on one plane, each with a forwarded
+/// socket dialed by its in-container client and accepted by the shared
+/// host service.
+struct Fleet {
+    kernel: Kernel,
+    _runtimes: Vec<ContainerRuntime>,
+    cntr: Cntr,
+    /// `(app pid, client fd, host-side conn fd)` per session; sessions
+    /// are kept alive for the fleet's lifetime.
+    lanes: Vec<(Pid, u32, u32)>,
+    _sessions: Vec<cntr_core::AttachSession>,
+}
+
+fn fleet(n: usize) -> Fleet {
+    let kernel = host();
+    let runtimes = ContainerRuntime::matrix(kernel.clone(), registry());
+    let svc = kernel.bind_listener(Pid::INIT, SVC_PATH).unwrap();
+    let cntr = Cntr::new(kernel.clone());
+    let mut sessions = Vec::with_capacity(n);
+    let mut lanes = Vec::with_capacity(n);
+    for i in 0..n {
+        let rt = &runtimes[i % runtimes.len()];
+        let c = rt.run(&format!("c{i}"), "app:slim").unwrap();
+        let session = cntr.attach(c.pid, CntrOptions::default()).unwrap();
+        session
+            .forward_socket("/var/lib/cntr/tmp/app.sock", SVC_PATH)
+            .unwrap();
+        let client = kernel.connect(c.pid, "/tmp/app.sock").unwrap();
+        lanes.push((c.pid, client, 0));
+        sessions.push(session);
+    }
+    cntr.plane().unwrap().pump_until_quiet().unwrap();
+    for lane in &mut lanes {
+        lane.2 = kernel.accept(Pid::INIT, svc).unwrap();
+    }
+    Fleet {
+        kernel,
+        _runtimes: runtimes,
+        cntr,
+        lanes,
+        _sessions: sessions,
+    }
+}
+
+/// One round: every lane sends `payload`, the plane forwards it, the
+/// host drains it. Returns bytes moved end to end.
+fn stream_round(f: &Fleet, payload: &[u8], buf: &mut [u8]) -> usize {
+    let plane = f.cntr.plane().unwrap();
+    for (pid, client, _) in &f.lanes {
+        let mut sent = 0;
+        while sent < payload.len() {
+            match f.kernel.write_fd(*pid, *client, &payload[sent..]) {
+                Ok(n) => sent += n,
+                Err(_) => {
+                    plane.pump_until_quiet().unwrap();
+                }
+            }
+        }
+    }
+    plane.pump_until_quiet().unwrap();
+    let mut received = 0;
+    for (_, _, conn) in &f.lanes {
+        while let Ok(n) = f.kernel.read_fd(Pid::INIT, *conn, buf) {
+            if n == 0 {
+                break;
+            }
+            received += n;
+        }
+    }
+    received
+}
+
+/// Cost of attaching one more session (and registering its forwarded
+/// socket) while the plane already hosts a populated fleet.
+fn bench_session_setup(c: &mut Criterion) {
+    let f = fleet(100);
+    let rt = &f._runtimes[0];
+    let mut i = 0usize;
+    c.bench_function("attach_setup_on_busy_plane", |b| {
+        b.iter(|| {
+            i += 1;
+            let cont = rt.run(&format!("extra{i}"), "app:slim").unwrap();
+            let session = f.cntr.attach(cont.pid, CntrOptions::default()).unwrap();
+            let proxy = session
+                .forward_socket("/var/lib/cntr/tmp/extra.sock", SVC_PATH)
+                .unwrap();
+            black_box(&proxy);
+            session.detach().unwrap();
+            rt.stop(&format!("extra{i}")).unwrap();
+        })
+    });
+}
+
+/// Streaming throughput with 10 / 100 / 1000 concurrent sessions.
+fn bench_streaming_throughput(c: &mut Criterion) {
+    let payload = vec![0x42u8; 4096];
+    let mut buf = vec![0u8; 65536];
+    for n in [10usize, 100, 1000] {
+        let f = fleet(n);
+        c.bench_function(&format!("plane_stream_4k_x{n}_sessions"), |b| {
+            b.iter(|| {
+                let got = stream_round(&f, &payload, &mut buf);
+                assert_eq!(got, payload.len() * f.lanes.len());
+                black_box(got)
+            })
+        });
+        // Aggregate figure next to the per-iteration timing: one timed
+        // burst, reported as MiB/s through the plane.
+        let start = Instant::now();
+        let mut moved = 0usize;
+        for _ in 0..8 {
+            moved += stream_round(&f, &payload, &mut buf);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "plane_throughput sessions={n} bytes={moved} mib_per_s={:.1}",
+            moved as f64 / (1 << 20) as f64 / secs
+        );
+    }
+}
+
+/// Counters the loop maintained during the runs, next to the timings.
+fn report_metrics_snapshot(_c: &mut Criterion) {
+    println!("attach_scale metrics snapshot:");
+    for metric in [
+        "core.attach.loop-polls",
+        "core.proxy.accepted",
+        "core.proxy.forwarded-bytes",
+        "core.proxy.dial-errors",
+    ] {
+        if let Some(v) = obs::counter_value(metric) {
+            println!("{metric} {v}");
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_session_setup,
+    bench_streaming_throughput,
+    report_metrics_snapshot
+);
+criterion_main!(benches);

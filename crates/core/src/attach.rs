@@ -16,6 +16,7 @@
 
 use crate::cntrfs::CntrfsServer;
 use crate::context::ContainerContext;
+use crate::event_loop::{lock_class, EventLoop, PtyHandles};
 use crate::proxy::SocketProxy;
 use crate::pty::Pty;
 use crate::shell::Shell;
@@ -68,12 +69,30 @@ static NEXT_TMP: AtomicU64 = AtomicU64::new(1);
 /// The CNTR tool.
 pub struct Cntr {
     kernel: Kernel,
+    /// The shared attach plane: one epoll event loop multiplexing every
+    /// session's proxies and ptys. Created lazily on first attach.
+    plane: Mutex<Option<Arc<EventLoop>>>,
 }
 
 impl Cntr {
     /// Creates the tool on a machine.
     pub fn new(kernel: Kernel) -> Cntr {
-        Cntr { kernel }
+        Cntr {
+            kernel,
+            plane: Mutex::new_class(lock_class::PLANE_SLOT, None),
+        }
+    }
+
+    /// The shared attach plane, created on first use. The loop (and its
+    /// plane process) is built *outside* the slot lock; a racing loser's
+    /// loop is dropped, which reaps its process.
+    pub fn plane(&self) -> SysResult<Arc<EventLoop>> {
+        if let Some(p) = self.plane.lock().as_ref() {
+            return Ok(Arc::clone(p));
+        }
+        let fresh = EventLoop::new(self.kernel.clone())?;
+        let mut slot = self.plane.lock();
+        Ok(Arc::clone(slot.get_or_insert(fresh)))
     }
 
     /// Attaches to the container running as `target`.
@@ -232,7 +251,11 @@ impl Cntr {
         k.close(cntr_pid, fuse_fd)?;
 
         let pty = Pty::new();
-        let shell = Shell::new(k.clone(), attached, Arc::clone(&pty));
+        let shell = Arc::new(Shell::new(k.clone(), attached, Arc::clone(&pty)));
+        // Join the shared attach plane: the session's pty (and later any
+        // forwarded sockets) become endpoints of the one event loop.
+        let plane = self.plane()?;
+        let pty_handles = plane.register_pty(&pty, &shell)?;
         Ok(AttachSession {
             kernel: k.clone(),
             target,
@@ -242,9 +265,11 @@ impl Cntr {
             context,
             client,
             server,
+            plane,
+            pty_handles,
             pty,
             shell,
-            proxies: Mutex::new_class("core.attach.proxies", Vec::new()),
+            proxies: Mutex::new_class(lock_class::SESSION_PROXIES, Vec::new()),
         })
     }
 
@@ -283,8 +308,10 @@ pub struct AttachSession {
     pub client: Arc<FuseClientFs>,
     /// The CntrFS server object.
     pub server: CntrfsServer,
+    plane: Arc<EventLoop>,
+    pty_handles: PtyHandles,
     pty: Arc<Pty>,
-    shell: Shell,
+    shell: Arc<Shell>,
     proxies: Mutex<Vec<Arc<SocketProxy>>>,
 }
 
@@ -309,15 +336,18 @@ impl AttachSession {
         self.shell.run(command)
     }
 
-    /// Forwards a Unix socket: listens at `nested_path` (inside the
-    /// container view) and forwards to `target_path` on the tools side.
-    pub fn forward_socket(
-        &self,
-        nested_path: &str,
-        target_path: &str,
-    ) -> SysResult<Arc<SocketProxy>> {
-        let proxy = SocketProxy::new(
-            self.kernel.clone(),
+    /// The attach plane this session's endpoints are registered on.
+    pub fn plane(&self) -> &Arc<EventLoop> {
+        &self.plane
+    }
+
+    /// Registers a socket forwarder on the session's plane: it listens
+    /// at `nested_path` (bound in the attached process's namespace, so
+    /// in-container clients resolve it) and forwards to `target_path`
+    /// on the tools side. The listener fd moves into the plane process.
+    pub fn add_proxy(&self, nested_path: &str, target_path: &str) -> SysResult<Arc<SocketProxy>> {
+        let proxy = SocketProxy::on_plane(
+            &self.plane,
             self.attached,
             self.server_pid,
             nested_path,
@@ -327,13 +357,22 @@ impl AttachSession {
         Ok(proxy)
     }
 
-    /// Pumps every socket proxy once.
+    /// Forwards a Unix socket (alias of [`add_proxy`]).
+    ///
+    /// [`add_proxy`]: AttachSession::add_proxy
+    pub fn forward_socket(
+        &self,
+        nested_path: &str,
+        target_path: &str,
+    ) -> SysResult<Arc<SocketProxy>> {
+        self.add_proxy(nested_path, target_path)
+    }
+
+    /// Pumps the session's plane until quiet. All of the plane's
+    /// endpoints advance — a session cannot be pumped in isolation, by
+    /// design.
     pub fn pump_proxies(&self) -> SysResult<usize> {
-        let mut moved = 0;
-        for p in self.proxies.lock().iter() {
-            moved += p.pump_until_quiet()?;
-        }
-        Ok(moved)
+        self.plane.pump_until_quiet()
     }
 
     /// Kills the CntrFS server (failure injection): subsequent filesystem
@@ -342,15 +381,31 @@ impl AttachSession {
         self.client.kill_connection();
     }
 
-    /// Detaches: tears down the session processes. The application
-    /// container is left untouched.
-    pub fn detach(self) -> SysResult<()> {
+    /// Deregisters the session's endpoints from the live event loop
+    /// (proxies first, then the pty pair), then tears down the session
+    /// processes. The plane and every other session keep running; the
+    /// application container is left untouched.
+    pub fn teardown(&self) -> SysResult<()> {
+        // Snapshot-and-clear under the lock, deregister outside it: the
+        // plane takes kernel locks, which rank below the proxy list.
+        let proxies: Vec<Arc<SocketProxy>> = std::mem::take(&mut *self.proxies.lock());
+        for proxy in proxies {
+            proxy.unregister();
+        }
+        self.plane.remove_pty(self.pty_handles);
         let k = &self.kernel;
         for pid in [self.attached, self.server_pid, self.cntr_pid] {
             let _ = k.exit(pid);
             let _ = k.reap(pid);
         }
         Ok(())
+    }
+
+    /// Detaches: [`teardown`], consuming the session.
+    ///
+    /// [`teardown`]: AttachSession::teardown
+    pub fn detach(self) -> SysResult<()> {
+        self.teardown()
     }
 }
 

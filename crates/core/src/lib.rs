@@ -23,10 +23,13 @@
 //!
 //! [`context`] implements step #1's `/proc` inspection and [`shell`] the
 //! interactive shell plus a toolbox of simulated debugging tools.
+//! [`event_loop`] is the attach plane itself: the single epoll event loop
+//! that multiplexes every session's proxies and ptys.
 
 pub mod attach;
 pub mod cntrfs;
 pub mod context;
+pub mod event_loop;
 pub mod proxy;
 pub mod pty;
 pub mod shell;
@@ -34,6 +37,7 @@ pub mod shell;
 pub use attach::{AttachSession, Cntr, CntrOptions, ToolsLocation};
 pub use cntrfs::CntrfsServer;
 pub use context::ContainerContext;
+pub use event_loop::EventLoop;
 pub use proxy::SocketProxy;
 pub use pty::Pty;
 pub use shell::Shell;

@@ -6,41 +6,33 @@
 //! runs a proxy: it listens on a socket *inside* the application container,
 //! connects to the real server in the debug container or on the host, and
 //! moves bytes with an epoll event loop and `splice`.
+//!
+//! [`SocketProxy`] is a thin handle: the actual accepting, splicing,
+//! backpressure, and teardown live in the shared attach-plane
+//! [`EventLoop`], which multiplexes every proxy (and pty) of a plane
+//! through one epoll instance. A session-owned proxy joins its session's
+//! loop via [`SocketProxy::on_plane`]; the standalone constructor keeps
+//! the historical one-loop-per-proxy shape for direct use.
 
-use cntr_kernel::epoll::Events;
+use crate::event_loop::{EventLoop, ProxyCore};
 use cntr_kernel::Kernel;
 use cntr_types::{Pid, SysResult};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
-struct Forwarded {
-    /// Fd of the accepted client connection (in the proxy process).
-    client: u32,
-    /// Fd of the upstream connection (passed into the proxy process).
-    upstream: u32,
-    closed: bool,
-}
-
-/// A bidirectional Unix-socket forwarder.
+/// A bidirectional Unix-socket forwarder registered on an attach plane.
 pub struct SocketProxy {
-    kernel: Kernel,
-    /// The proxy process (lives in the nested namespace, accepts there).
-    proxy_pid: Pid,
-    /// A process in the server namespace used to originate upstream
-    /// connections (the CntrFS server process).
-    connect_pid: Pid,
+    plane: Arc<EventLoop>,
+    core: Arc<ProxyCore>,
     /// Path the proxy listens on (inside the app container).
     pub listen_path: String,
     /// Path of the real server socket (in the server namespace).
     pub target_path: String,
-    listener_fd: u32,
-    epoll_fd: u32,
-    conns: Mutex<Vec<Forwarded>>,
 }
 
 impl SocketProxy {
     /// Binds `listen_path` in the proxy process's namespace and prepares to
-    /// forward to `target_path` in the connect process's namespace.
+    /// forward to `target_path` in the connect process's namespace, on a
+    /// dedicated event loop owned by `proxy_pid`.
     pub fn new(
         kernel: Kernel,
         proxy_pid: Pid,
@@ -48,104 +40,75 @@ impl SocketProxy {
         listen_path: &str,
         target_path: &str,
     ) -> SysResult<Arc<SocketProxy>> {
-        let listener_fd = kernel.bind_listener(proxy_pid, listen_path)?;
-        let epoll_fd = kernel.epoll_create(proxy_pid)?;
-        kernel.epoll_add(proxy_pid, epoll_fd, listener_fd, 0, Events::IN)?;
+        let plane = EventLoop::with_process(kernel, proxy_pid)?;
+        SocketProxy::on_plane(&plane, proxy_pid, connect_pid, listen_path, target_path)
+    }
+
+    /// Registers a forwarder on an existing plane: the listener is bound
+    /// in `bind_pid`'s mount namespace (so in-container clients resolve
+    /// it) and its fd is moved into the plane process, which owns every
+    /// endpoint.
+    pub fn on_plane(
+        plane: &Arc<EventLoop>,
+        bind_pid: Pid,
+        connect_pid: Pid,
+        listen_path: &str,
+        target_path: &str,
+    ) -> SysResult<Arc<SocketProxy>> {
+        let k = plane.kernel();
+        let bound = k.bind_listener(bind_pid, listen_path)?;
+        let listener_fd = if bind_pid == plane.pid() {
+            bound
+        } else {
+            let moved = k.send_fd(bind_pid, bound, plane.pid())?;
+            k.close(bind_pid, bound)?;
+            moved
+        };
+        let core = plane.register_listener(listener_fd, connect_pid, target_path)?;
         Ok(Arc::new(SocketProxy {
-            kernel,
-            proxy_pid,
-            connect_pid,
+            plane: Arc::clone(plane),
+            core,
             listen_path: listen_path.to_string(),
             target_path: target_path.to_string(),
-            listener_fd,
-            epoll_fd,
-            conns: Mutex::new_class("core.proxy.conns", Vec::new()),
         }))
+    }
+
+    /// The event loop this proxy is registered on.
+    pub fn plane(&self) -> &Arc<EventLoop> {
+        &self.plane
     }
 
     /// Number of live forwarded connections.
     pub fn connections(&self) -> usize {
-        self.conns.lock().iter().filter(|c| !c.closed).count()
+        self.core.live()
     }
 
-    /// One iteration of the event loop: accept pending connections, then
-    /// splice every readable direction. Returns bytes moved.
-    pub fn pump(&self) -> SysResult<usize> {
-        let k = &self.kernel;
-        // Accept new clients and dial upstream for each.
-        while let Ok(client) = k.accept(self.proxy_pid, self.listener_fd) {
-            let upstream_remote = k.connect(self.connect_pid, &self.target_path)?;
-            // Bring the upstream fd into the proxy process (SCM_RIGHTS) so
-            // one process owns both ends, as the real proxy does.
-            let upstream = k.send_fd(self.connect_pid, upstream_remote, self.proxy_pid)?;
-            k.close(self.connect_pid, upstream_remote)?;
-            let token = 1 + self.conns.lock().len() as u64;
-            let _ = k.epoll_add(self.proxy_pid, self.epoll_fd, client, token * 2, Events::IN);
-            let _ = k.epoll_add(
-                self.proxy_pid,
-                self.epoll_fd,
-                upstream,
-                token * 2 + 1,
-                Events::IN,
-            );
-            self.conns.lock().push(Forwarded {
-                client,
-                upstream,
-                closed: false,
-            });
-        }
+    /// Connections accepted over the proxy's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.core.accepted()
+    }
 
-        // Splice data for every ready direction.
-        let ready = k.epoll_wait(self.proxy_pid, self.epoll_fd)?;
-        let mut moved = 0usize;
-        let mut conns = self.conns.lock();
-        for (token, ev) in ready {
-            if token == 0 || !ev.readable {
-                continue;
-            }
-            let idx = (token / 2 - 1) as usize;
-            let Some(conn) = conns.get_mut(idx) else {
-                continue;
-            };
-            if conn.closed {
-                continue;
-            }
-            let (from, to) = if token % 2 == 0 {
-                (conn.client, conn.upstream)
-            } else {
-                (conn.upstream, conn.client)
-            };
-            loop {
-                match k.splice(self.proxy_pid, from, to, 64 * 1024) {
-                    Ok(0) => {
-                        // Orderly shutdown of one side: close the pair.
-                        let _ = k.close(self.proxy_pid, conn.client);
-                        let _ = k.close(self.proxy_pid, conn.upstream);
-                        conn.closed = true;
-                        break;
-                    }
-                    Ok(n) => moved += n,
-                    Err(cntr_types::Errno::EAGAIN) => break,
-                    Err(_) => {
-                        conn.closed = true;
-                        break;
-                    }
-                }
-            }
-        }
-        Ok(moved)
+    /// Upstream dials that failed. Each failure closes only the affected
+    /// client; the proxy keeps serving.
+    pub fn dial_errors(&self) -> u64 {
+        self.core.dial_errors()
+    }
+
+    /// One iteration of the plane's event loop. Returns progress made
+    /// (across *all* endpoints of the plane, not just this proxy).
+    pub fn pump(&self) -> SysResult<usize> {
+        self.plane.poll_once()
     }
 
     /// Pumps until no more progress is made (quiesces in-flight data).
     pub fn pump_until_quiet(&self) -> SysResult<usize> {
-        let mut total = 0;
-        loop {
-            let moved = self.pump()?;
-            total += moved;
-            if moved == 0 {
-                return Ok(total);
-            }
-        }
+        self.plane.pump_until_quiet()
+    }
+
+    /// Deregisters the proxy from its plane: the listener and every
+    /// forwarded pair leave the epoll interest set and their fds close.
+    pub fn unregister(&self) {
+        self.plane.remove_proxy(&self.core);
     }
 }
 
@@ -209,8 +172,199 @@ mod tests {
         )
         .unwrap();
         let app = k.fork(Pid::INIT).unwrap();
-        let _fd = k.connect(app, "/run/dead.sock").unwrap();
-        // Pump fails to dial upstream: the connection cannot be forwarded.
-        assert!(proxy.pump().is_err());
+        let fd = k.connect(app, "/run/dead.sock").unwrap();
+        // The failed upstream dial is absorbed: the pump keeps running
+        // (reporting only the accept as progress), the client is
+        // closed, and the failure is counted.
+        assert_eq!(proxy.pump().unwrap(), 1);
+        assert_eq!(proxy.connections(), 0);
+        assert_eq!(proxy.dial_errors(), 1);
+        // The client observes the refusal as EOF (closed fd), not a
+        // wedged connection.
+        let mut buf = [0u8; 4];
+        assert!(matches!(k.read_fd(app, fd, &mut buf), Ok(0) | Err(_)));
+        // The listener endpoint itself survives the failure.
+        assert_eq!(proxy.plane().endpoints(), 1);
+    }
+
+    #[test]
+    fn upstream_dead_then_revived_mid_session() {
+        let k = boot_host(SimClock::new());
+        // Fork every participant BEFORE binding the upstream listener, so
+        // closing the host fd really is the last reference.
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        let app = k.fork(Pid::INIT).unwrap();
+        let srv = k.bind_listener(Pid::INIT, "/run/db.sock").unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/run/app.sock",
+            "/run/db.sock",
+        )
+        .unwrap();
+
+        // A healthy session streams.
+        let c1 = k.connect(app, "/run/app.sock").unwrap();
+        proxy.pump().unwrap();
+        k.write_fd(app, c1, b"before").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let s1 = k.accept(Pid::INIT, srv).unwrap();
+        let mut buf = [0u8; 16];
+        let n = k.read_fd(Pid::INIT, s1, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"before");
+
+        // The upstream dies: its listener closes and unbinds.
+        k.close(Pid::INIT, srv).unwrap();
+        let c2 = k.connect(app, "/run/app.sock").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        assert_eq!(proxy.dial_errors(), 1);
+        let _ = c2;
+        // The established session is NOT collateral damage.
+        assert_eq!(proxy.connections(), 1);
+        k.write_fd(Pid::INIT, s1, b"still-on").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let n = k.read_fd(app, c1, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"still-on");
+
+        // The upstream revives (the stale socket file must go first).
+        k.unlink(Pid::INIT, "/run/db.sock").unwrap();
+        let srv2 = k.bind_listener(Pid::INIT, "/run/db.sock").unwrap();
+        let c3 = k.connect(app, "/run/app.sock").unwrap();
+        proxy.pump().unwrap();
+        assert_eq!(proxy.connections(), 2);
+        k.write_fd(app, c3, b"revived").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let s3 = k.accept(Pid::INIT, srv2).unwrap();
+        let n = k.read_fd(Pid::INIT, s3, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"revived");
+    }
+
+    #[test]
+    fn half_close_with_pending_server_data() {
+        let k = boot_host(SimClock::new());
+        let srv = k.bind_listener(Pid::INIT, "/run/svc.sock").unwrap();
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/run/in.sock",
+            "/run/svc.sock",
+        )
+        .unwrap();
+        let app = k.fork(Pid::INIT).unwrap();
+        let c = k.connect(app, "/run/in.sock").unwrap();
+        proxy.pump().unwrap();
+        k.write_fd(app, c, b"QUERY").unwrap();
+        proxy.pump_until_quiet().unwrap();
+        let s = k.accept(Pid::INIT, srv).unwrap();
+        let mut buf = [0u8; 16];
+        let n = k.read_fd(Pid::INIT, s, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"QUERY");
+
+        // The server queues its answer, then the client half-closes.
+        k.write_fd(Pid::INIT, s, b"ANSWER").unwrap();
+        k.shutdown_write(app, c).unwrap();
+        proxy.pump_until_quiet().unwrap();
+        // Forward direction: the server sees EOF after draining.
+        assert_eq!(k.read_fd(Pid::INIT, s, &mut buf), Ok(0));
+        // Reverse direction survived the half-close: the pending answer
+        // still reaches the client.
+        let n = k.read_fd(app, c, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ANSWER");
+        assert_eq!(proxy.connections(), 1, "pair lives until both drain");
+
+        // Now the server closes too: the pair is torn down fully.
+        k.close(Pid::INIT, s).unwrap();
+        proxy.pump_until_quiet().unwrap();
+        assert_eq!(k.read_fd(app, c, &mut buf), Ok(0));
+        proxy.pump_until_quiet().unwrap();
+        assert_eq!(proxy.connections(), 0);
+    }
+
+    #[test]
+    fn connect_close_cycles_stay_bounded() {
+        let k = boot_host(SimClock::new());
+        let srv = k.bind_listener(Pid::INIT, "/run/cycle.sock").unwrap();
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/run/cycle-in.sock",
+            "/run/cycle.sock",
+        )
+        .unwrap();
+        let app = k.fork(Pid::INIT).unwrap();
+        for i in 0..64u32 {
+            let c = k.connect(app, "/run/cycle-in.sock").unwrap();
+            proxy.pump().unwrap();
+            assert_eq!(proxy.connections(), 1, "cycle {i}");
+            k.write_fd(app, c, b"ping").unwrap();
+            proxy.pump_until_quiet().unwrap();
+            let s = k.accept(Pid::INIT, srv).unwrap();
+            let mut buf = [0u8; 8];
+            assert_eq!(k.read_fd(Pid::INIT, s, &mut buf).unwrap(), 4);
+            // Both application ends close; the loop must fully reclaim
+            // the pair.
+            k.close(Pid::INIT, s).unwrap();
+            k.close(app, c).unwrap();
+            proxy.pump_until_quiet().unwrap();
+            assert_eq!(proxy.connections(), 0, "cycle {i}");
+        }
+        assert_eq!(proxy.accepted(), 64);
+        // No leaked endpoints and no leaked epoll interest: just the
+        // listener remains, regardless of how many pairs came and went.
+        assert_eq!(proxy.plane().endpoints(), 1);
+        assert_eq!(proxy.plane().interest_len().unwrap(), 1);
+        // Fresh connections still work after all that churn.
+        let _c = k.connect(app, "/run/cycle-in.sock").unwrap();
+        proxy.pump().unwrap();
+        assert_eq!(proxy.connections(), 1);
+    }
+
+    #[test]
+    fn stalled_reader_parks_only_its_own_direction() {
+        let k = boot_host(SimClock::new());
+        let srv = k.bind_listener(Pid::INIT, "/run/slow.sock").unwrap();
+        let proxy_pid = k.fork(Pid::INIT).unwrap();
+        let connect_pid = k.fork(Pid::INIT).unwrap();
+        let proxy = SocketProxy::new(
+            k.clone(),
+            proxy_pid,
+            connect_pid,
+            "/run/slow-in.sock",
+            "/run/slow.sock",
+        )
+        .unwrap();
+        let app = k.fork(Pid::INIT).unwrap();
+        let c = k.connect(app, "/run/slow-in.sock").unwrap();
+        proxy.pump().unwrap();
+        let s = k.accept(Pid::INIT, srv).unwrap();
+
+        // The server never reads. Push far more than one socket buffer
+        // through: the proxy forwards what fits, parks, and resumes as
+        // the reader drains — without dropping a byte.
+        let payload: Vec<u8> = (0..400_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        while sent < payload.len() || received.len() < payload.len() {
+            if sent < payload.len() {
+                if let Ok(n) = k.write_fd(app, c, &payload[sent..]) {
+                    sent += n;
+                }
+            }
+            proxy.pump_until_quiet().unwrap();
+            // Drain slowly: one read per round trip.
+            if let Ok(n) = k.read_fd(Pid::INIT, s, &mut buf) {
+                received.extend_from_slice(&buf[..n]);
+            }
+        }
+        assert_eq!(received, payload, "no bytes dropped or reordered");
     }
 }

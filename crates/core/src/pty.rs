@@ -9,7 +9,12 @@
 
 use cntr_kernel::pipe::Pipe;
 use cntr_types::{Errno, SysResult};
+use obs::{LazyCounter, Subsystem};
 use std::sync::Arc;
+
+// Bytes dropped by direct `shell_write` callers when the output pipe was
+// full (the event-loop path never drops: it parks the tail instead).
+static OBS_TRUNCATED: LazyCounter = LazyCounter::new(Subsystem::Core, "core.pty.truncated-writes");
 
 /// A master/slave pseudo-TTY pair.
 pub struct Pty {
@@ -29,11 +34,21 @@ impl Pty {
     }
 
     /// Master side: the user types a line (a trailing newline is added if
-    /// missing).
+    /// missing). Delivery is atomic: a line that does not currently fit
+    /// is refused whole with `EAGAIN` rather than split — the shell
+    /// side treats a buffer that runs dry mid-line as a complete line,
+    /// so a partial write would corrupt the command stream. A line
+    /// larger than the pipe itself can never fit and yields `EINVAL`.
     pub fn user_write_line(&self, line: &str) -> SysResult<()> {
         let mut bytes = line.as_bytes().to_vec();
         if !bytes.ends_with(b"\n") {
             bytes.push(b'\n');
+        }
+        if bytes.len() > self.input.capacity() {
+            return Err(Errno::EINVAL);
+        }
+        if self.input.room() < bytes.len() {
+            return Err(Errno::EAGAIN);
         }
         let mut written = 0;
         while written < bytes.len() {
@@ -84,20 +99,44 @@ impl Pty {
         }
     }
 
-    /// Slave side: the shell prints output.
-    pub fn shell_write(&self, text: &str) -> SysResult<()> {
+    /// Slave side: the shell prints output. Returns how many bytes were
+    /// accepted; a full buffer yields a *short* write rather than an
+    /// error. Callers that discard the return value lose the tail (like
+    /// a real tty with no reader) — those dropped bytes are surfaced in
+    /// the `core.pty.truncated-writes` counter. The attach plane's
+    /// event loop instead keeps the tail and re-arms on writability,
+    /// via [`shell_write_raw`](Pty::shell_write_raw).
+    pub fn shell_write(&self, text: &str) -> SysResult<usize> {
         let bytes = text.as_bytes();
+        let written = self.shell_write_raw(bytes)?;
+        if written < bytes.len() {
+            OBS_TRUNCATED.add((bytes.len() - written) as u64);
+        }
+        Ok(written)
+    }
+
+    /// Slave side, raw variant: writes as much as fits and returns the
+    /// count without recording truncation — the caller owns the tail.
+    pub fn shell_write_raw(&self, bytes: &[u8]) -> SysResult<usize> {
         let mut written = 0;
         while written < bytes.len() {
             match self.output.write(&bytes[written..]) {
                 Ok(n) => written += n,
-                // A full buffer drops the rest, like a real tty with no
-                // reader; tests always drain promptly.
-                Err(Errno::EAGAIN) => return Ok(()),
+                Err(Errno::EAGAIN) => break,
                 Err(e) => return Err(e),
             }
         }
-        Ok(())
+        Ok(written)
+    }
+
+    /// The user→shell pipe (the attach plane registers its read end).
+    pub(crate) fn input_pipe(&self) -> &Arc<Pipe> {
+        &self.input
+    }
+
+    /// The shell→user pipe (the attach plane registers its write end).
+    pub(crate) fn output_pipe(&self) -> &Arc<Pipe> {
+        &self.output
     }
 
     /// Hangs up the terminal (user disconnect).

@@ -33,6 +33,14 @@ static OBS_REAPS: LazyCounter = LazyCounter::new(Subsystem::Engine, "engine.reap
 static OBS_REAP_NS: LazyHistogram = LazyHistogram::new(Subsystem::Engine, "engine.reap.latency-ns");
 static OBS_RUNNING: LazyGauge = LazyGauge::new(Subsystem::Engine, "engine.containers.running");
 
+// Device-number allocator for every filesystem an engine assembles
+// (lowers, uppers, overlay roots). Process-global, not per-runtime: the
+// kernel's socket-node registry keys on `(fs_id, ino)`, so two engines
+// on one machine handing out the same `DevId` would alias unrelated
+// inodes — with the four-engine matrix, container N of one engine could
+// steal Unix-socket connections bound in container N of another.
+static NEXT_DEV: AtomicU64 = AtomicU64::new(1000);
+
 /// The supported container engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -47,6 +55,15 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
+    /// Every supported engine, in matrix order — the four flavours the
+    /// paper's evaluation covers.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Docker,
+        EngineKind::Lxc,
+        EngineKind::Rkt,
+        EngineKind::SystemdNspawn,
+    ];
+
     /// The engine's name as a path component (`/var/lib/<engine>`).
     pub const fn dir_name(self) -> &'static str {
         match self {
@@ -124,7 +141,6 @@ pub struct ContainerRuntime {
     /// Container name → its overlay root (for slimming and diagnostics).
     overlays: Mutex<HashMap<String, Arc<OverlayFs>>>,
     next_seq: AtomicU64,
-    next_dev: AtomicU64,
 }
 
 impl ContainerRuntime {
@@ -151,8 +167,26 @@ impl ContainerRuntime {
             layers: Mutex::new_class("engine.layers", HashMap::new()),
             overlays: Mutex::new_class("engine.overlays", HashMap::new()),
             next_seq: AtomicU64::new(1),
-            next_dev: AtomicU64::new(1000),
         }
+    }
+
+    /// The full engine matrix on one machine: one runtime per
+    /// [`EngineKind`], all driving `kernel` and pulling from `registry`
+    /// through a single shared blob store (identical layers dedup
+    /// across engine flavours, as on a real host).
+    pub fn matrix(kernel: Kernel, registry: Arc<Registry>) -> Vec<ContainerRuntime> {
+        let store = BlobStore::new();
+        EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                ContainerRuntime::with_store(
+                    kind,
+                    kernel.clone(),
+                    Arc::clone(&registry),
+                    Arc::clone(&store),
+                )
+            })
+            .collect()
     }
 
     /// The engine flavour.
@@ -191,7 +225,7 @@ impl ContainerRuntime {
         if let Some(fs) = layers.get(&key) {
             return Ok(Arc::clone(fs));
         }
-        let dev = DevId(self.next_dev.fetch_add(1, Ordering::Relaxed));
+        let dev = DevId(NEXT_DEV.fetch_add(1, Ordering::Relaxed));
         let fs = blobfs(dev, self.kernel.clock().clone(), Arc::clone(&self.store));
         layer.materialize_into(fs.as_ref())?;
         layers.insert(key, Arc::clone(&fs));
@@ -207,12 +241,12 @@ impl ContainerRuntime {
         }
         let clock = self.kernel.clock().clone();
         let upper = blobfs(
-            DevId(self.next_dev.fetch_add(1, Ordering::Relaxed)),
+            DevId(NEXT_DEV.fetch_add(1, Ordering::Relaxed)),
             clock,
             Arc::clone(&self.store),
         );
         let rootfs = OverlayFs::new(
-            DevId(self.next_dev.fetch_add(1, Ordering::Relaxed)),
+            DevId(NEXT_DEV.fetch_add(1, Ordering::Relaxed)),
             lowers,
             upper,
         );
@@ -250,7 +284,7 @@ impl ContainerRuntime {
 
         // Assemble the copy-on-write rootfs over shared image layers.
         let rootfs = self.overlay_rootfs(&image)?;
-        let dev = DevId(self.next_dev.fetch_add(1, Ordering::Relaxed));
+        let dev = DevId(NEXT_DEV.fetch_add(1, Ordering::Relaxed));
 
         // Host-side bookkeeping directory (in the parent's namespace).
         let host_dir = format!("/var/lib/{}/{}", self.kind.dir_name(), id);

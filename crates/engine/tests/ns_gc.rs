@@ -12,21 +12,12 @@
 
 use cntr_engine::image::ImageBuilder;
 use cntr_engine::runtime::boot_host;
-use cntr_engine::{ContainerRuntime, EngineKind, Registry};
+use cntr_engine::{ContainerRuntime, Registry};
 use cntr_kernel::{CgroupPath, Kernel, NamespaceId, NamespaceKind};
-use cntr_overlay::BlobStore;
 use cntr_types::{Errno, Pid, SimClock};
-use std::sync::Arc;
 
 const TOTAL: usize = 1000;
 const BATCH: usize = 25;
-
-const ENGINES: [EngineKind; 4] = [
-    EngineKind::Docker,
-    EngineKind::Lxc,
-    EngineKind::Rkt,
-    EngineKind::SystemdNspawn,
-];
 
 fn setup() -> (Kernel, Vec<ContainerRuntime>) {
     let kernel = boot_host(SimClock::new());
@@ -42,18 +33,7 @@ fn setup() -> (Kernel, Vec<ContainerRuntime>) {
             .build(),
     );
     // All four engines on one kernel, sharing one blob store — the matrix.
-    let store = BlobStore::new();
-    let runtimes = ENGINES
-        .iter()
-        .map(|&kind| {
-            ContainerRuntime::with_store(
-                kind,
-                kernel.clone(),
-                Arc::clone(&registry),
-                Arc::clone(&store),
-            )
-        })
-        .collect();
+    let runtimes = ContainerRuntime::matrix(kernel.clone(), registry);
     (kernel, runtimes)
 }
 

@@ -8,6 +8,7 @@ use crate::pipe::Pollable;
 use cntr_types::{Errno, SysResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Event interest / readiness bits (subset of `EPOLLIN`/`EPOLLOUT`/...).
@@ -55,14 +56,25 @@ struct Watch {
 }
 
 /// An epoll instance.
+///
+/// Wait-queue semantics: the ready set is served like Linux's `rdllist`
+/// under a `maxevents` budget — [`Epoll::wait_budget`] starts each sweep
+/// just past the last token it served, so a hot low-numbered endpoint
+/// cannot starve higher tokens when more sources are ready than the
+/// caller's per-wait budget.
 pub struct Epoll {
     watches: Mutex<HashMap<u64, Watch>>,
+    /// Rotation cursor of the budgeted wait: the token after which the
+    /// next sweep starts (wrapping). Relaxed is fine — it only steers
+    /// fairness, never correctness.
+    cursor: AtomicU64,
 }
 
 impl Default for Epoll {
     fn default() -> Epoll {
         Epoll {
             watches: Mutex::new_class("kernel.epoll.watches", HashMap::new()),
+            cursor: AtomicU64::new(0),
         }
     }
 }
@@ -120,6 +132,26 @@ impl Epoll {
         ready
     }
 
+    /// Budgeted wait (`epoll_wait` with `maxevents`): returns at most
+    /// `max` ready events, serving the ready set round-robin across calls.
+    /// The sweep starts just past the last token served by the previous
+    /// budgeted wait and wraps, so every ready endpoint is reached within
+    /// `ceil(ready / max)` sweeps no matter how hot its neighbours are.
+    pub fn wait_budget(&self, max: usize) -> Vec<(u64, Events)> {
+        let mut ready = self.wait();
+        if ready.is_empty() || max == 0 {
+            return Vec::new();
+        }
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        // First ready token strictly past the cursor (wrapping rotation).
+        let start = ready.partition_point(|&(t, _)| t <= cursor) % ready.len();
+        ready.rotate_left(start);
+        ready.truncate(max);
+        let last = ready.last().expect("non-empty checked").0;
+        self.cursor.store(last, Ordering::Relaxed);
+        ready
+    }
+
     /// Number of registered watches.
     pub fn len(&self) -> usize {
         self.watches.lock().len()
@@ -174,6 +206,25 @@ mod tests {
         p.close_write();
         let ready = ep.wait();
         assert!(ready[0].1.hangup || ready[0].1.readable);
+    }
+
+    #[test]
+    fn budgeted_wait_rotates_fairly() {
+        let ep = Epoll::new();
+        let pipes: Vec<_> = (0..4).map(|_| Pipe::new()).collect();
+        for (i, p) in pipes.iter().enumerate() {
+            p.write(b"x").unwrap();
+            ep.add(i as u64, p.clone(), Events::IN).unwrap();
+        }
+        // Budget of 2 over 4 ready tokens: two sweeps cover everything,
+        // and the second sweep starts where the first stopped.
+        let first: Vec<u64> = ep.wait_budget(2).iter().map(|(t, _)| *t).collect();
+        let second: Vec<u64> = ep.wait_budget(2).iter().map(|(t, _)| *t).collect();
+        let mut all = [first, second].concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "every ready token served");
+        // A third sweep wraps around rather than stalling.
+        assert_eq!(ep.wait_budget(4).len(), 4);
     }
 
     #[test]

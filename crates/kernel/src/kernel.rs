@@ -1059,6 +1059,27 @@ impl Kernel {
         })
     }
 
+    /// Resolves `fd` to the pollable source `epoll` would watch — the one
+    /// fd-to-`Pollable` mapping, shared by `epoll_add` and `poll_fd`.
+    fn pollable_of(entry: &crate::process::FdEntry) -> SysResult<Arc<dyn crate::pipe::Pollable>> {
+        Ok(match &entry.file.kind {
+            FileKind::PipeRead(pipe) | FileKind::PipeWrite(pipe) => Arc::clone(pipe) as _,
+            FileKind::Socket(s) => Arc::new(s.clone()) as _,
+            FileKind::Listener(l) => Arc::clone(l) as _,
+            _ => return Err(Errno::EPERM),
+        })
+    }
+
+    /// Resolves `epfd` to its epoll instance.
+    fn epoll_of(&self, pid: Pid, epfd: u32) -> SysResult<Arc<Epoll>> {
+        self.with_proc(pid, |p| {
+            match &p.fds.get(&epfd).ok_or(Errno::EBADF)?.file.kind {
+                FileKind::Epoll(e) => Ok(Arc::clone(e)),
+                _ => Err(Errno::EINVAL),
+            }
+        })
+    }
+
     /// `epoll_ctl(EPOLL_CTL_ADD)`: watches `fd` under `token`.
     pub fn epoll_add(&self, pid: Pid, epfd: u32, fd: u32, token: u64, ev: Events) -> SysResult<()> {
         self.charge_syscall();
@@ -1067,33 +1088,134 @@ impl Kernel {
                 FileKind::Epoll(e) => Arc::clone(e),
                 _ => return Err(Errno::EINVAL),
             };
-            let entry = p.fds.get(&fd).ok_or(Errno::EBADF)?;
-            let source: Arc<dyn crate::pipe::Pollable> = match &entry.file.kind {
-                FileKind::PipeRead(pipe) | FileKind::PipeWrite(pipe) => Arc::clone(pipe) as _,
-                FileKind::Socket(s) => Arc::new(s.clone()) as _,
-                FileKind::Listener(l) => Arc::clone(l) as _,
-                _ => return Err(Errno::EPERM),
-            };
+            let source = Self::pollable_of(p.fds.get(&fd).ok_or(Errno::EBADF)?)?;
             Ok((ep, source))
         })?;
         ep.add(token, source, ev)
     }
 
+    /// `epoll_ctl(EPOLL_CTL_MOD)`: changes the interest of `token`. The
+    /// attach plane uses this to park a stalled forward direction (drop
+    /// `IN` on the source, arm `OUT` on the full destination) and to
+    /// re-arm it once the destination drains.
+    pub fn epoll_mod(&self, pid: Pid, epfd: u32, token: u64, ev: Events) -> SysResult<()> {
+        self.charge_syscall();
+        self.epoll_of(pid, epfd)?.modify(token, ev)
+    }
+
+    /// `epoll_ctl(EPOLL_CTL_DEL)`: drops `token` from the interest set.
+    /// Explicit deregistration is what keeps a long-lived event loop's
+    /// interest set bounded across connect/close cycles.
+    pub fn epoll_del(&self, pid: Pid, epfd: u32, token: u64) -> SysResult<()> {
+        self.charge_syscall();
+        self.epoll_of(pid, epfd)?.remove(token)
+    }
+
+    /// Number of watches registered on `epfd` (diagnostics; the attach
+    /// stress asserts the interest set stays bounded).
+    pub fn epoll_len(&self, pid: Pid, epfd: u32) -> SysResult<usize> {
+        Ok(self.epoll_of(pid, epfd)?.len())
+    }
+
     /// `epoll_wait(2)` (non-blocking: returns what is ready now).
     pub fn epoll_wait(&self, pid: Pid, epfd: u32) -> SysResult<Vec<(u64, Events)>> {
         self.charge_syscall();
-        let ep = self.with_proc(pid, |p| {
-            match &p.fds.get(&epfd).ok_or(Errno::EBADF)?.file.kind {
-                FileKind::Epoll(e) => Ok(Arc::clone(e)),
-                _ => Err(Errno::EINVAL),
+        Ok(self.epoll_of(pid, epfd)?.wait())
+    }
+
+    /// `epoll_wait(2)` with a `maxevents` budget: at most `max` events,
+    /// served round-robin across calls (see [`Epoll::wait_budget`]).
+    pub fn epoll_wait_budget(
+        &self,
+        pid: Pid,
+        epfd: u32,
+        max: usize,
+    ) -> SysResult<Vec<(u64, Events)>> {
+        self.charge_syscall();
+        Ok(self.epoll_of(pid, epfd)?.wait_budget(max))
+    }
+
+    /// `poll(2)` on a single descriptor: its current readiness. Event
+    /// loops use this to tell a drained source apart from a full
+    /// destination after `splice` returns `EAGAIN`.
+    pub fn poll_fd(&self, pid: Pid, fd: u32) -> SysResult<Events> {
+        let source = self.with_proc(pid, |p| {
+            Self::pollable_of(p.fds.get(&fd).ok_or(Errno::EBADF)?)
+        })?;
+        Ok(Events {
+            readable: source.poll_readable(),
+            writable: source.poll_writable(),
+            hangup: source.poll_hangup(),
+        })
+    }
+
+    /// Installs a descriptor for one end of an existing kernel pipe —
+    /// how the attach plane turns a pty's pipes into pollable, splicable
+    /// descriptors in the plane process (a real pty master *is* an fd).
+    pub fn adopt_pipe(&self, pid: Pid, pipe: &Arc<Pipe>, write_end: bool) -> SysResult<u32> {
+        self.charge_syscall();
+        let (kind, flags) = if write_end {
+            (FileKind::PipeWrite(Arc::clone(pipe)), OpenFlags::WRONLY)
+        } else {
+            (FileKind::PipeRead(Arc::clone(pipe)), OpenFlags::RDONLY)
+        };
+        self.with_proc_mut(pid, |p| {
+            Ok(p.install_fd(FdEntry {
+                file: Arc::new(OpenFile {
+                    kind,
+                    flags,
+                    offset: Mutex::new_class("kernel.fd_offset", 0),
+                }),
+                cloexec: false,
+            }))
+        })
+    }
+
+    /// `shutdown(fd, SHUT_WR)` on a connected socket: closes the outbound
+    /// direction only. The peer drains in-flight bytes, then reads EOF;
+    /// this process can still receive.
+    pub fn shutdown_write(&self, pid: Pid, fd: u32) -> SysResult<()> {
+        self.charge_syscall();
+        let end = self.with_proc(pid, |p| {
+            match &p.fds.get(&fd).ok_or(Errno::EBADF)?.file.kind {
+                FileKind::Socket(s) => Ok(s.clone()),
+                _ => Err(Errno::ENOTSOCK),
             }
         })?;
-        Ok(ep.wait())
+        end.shutdown_write();
+        Ok(())
+    }
+
+    /// `close_range(2)`: closes every fd numbered ≥ `first`. A freshly
+    /// forked event-loop process calls this so descriptors inherited from
+    /// its parent don't pin listeners or pipes it never asked for.
+    pub fn close_range(&self, pid: Pid, first: u32) -> SysResult<usize> {
+        self.charge_syscall();
+        let closed = self.with_proc_mut(pid, |p| {
+            let doomed: Vec<u32> = p.fds.keys().copied().filter(|&fd| fd >= first).collect();
+            let mut entries = Vec::with_capacity(doomed.len());
+            for fd in doomed {
+                if let Some(entry) = p.fds.remove(&fd) {
+                    entries.push(entry);
+                }
+            }
+            Ok(entries)
+        })?;
+        let n = closed.len();
+        // Release outside the shard lock (close-time side effects may take
+        // subsystem locks).
+        for entry in closed {
+            self.release_fd_entry(entry);
+        }
+        Ok(n)
     }
 
     /// `splice(2)`: moves up to `len` bytes between two descriptors without
     /// copying through userspace. Supports pipe→pipe, socket→pipe and
     /// pipe→socket — the combinations CNTR's socket proxy uses (§3.2.4).
+    /// Loss-free under backpressure: whatever the destination does not
+    /// accept is pushed back onto the source, so a caller that sees
+    /// `EAGAIN` or a short count can retry later without dropping bytes.
     pub fn splice(&self, pid: Pid, fd_in: u32, fd_out: u32, len: usize) -> SysResult<usize> {
         self.charge_syscall();
         let (src, dst) = self.with_proc(pid, |p| {
@@ -1112,16 +1234,36 @@ impl Kernel {
             return Ok(0);
         }
         let written = match &dst.kind {
-            FileKind::PipeWrite(pipe) => pipe.write(&buf[..n])?,
-            FileKind::Socket(s) => s.send(&buf[..n])?,
-            _ => return Err(Errno::EINVAL),
+            FileKind::PipeWrite(pipe) => pipe.write(&buf[..n]),
+            FileKind::Socket(s) => s.send(&buf[..n]),
+            _ => Err(Errno::EINVAL),
         };
-        // Unwritten remainder is pushed back conceptually; the simulation
-        // only reports what moved. Charge splice (page-remap) cost.
+        let written = match written {
+            Ok(w) => w,
+            Err(e) => {
+                // Destination refused everything: return the staged bytes
+                // to the source before surfacing the error.
+                Self::splice_unread(&src.kind, &buf[..n]);
+                return Err(e);
+            }
+        };
+        if written < n {
+            Self::splice_unread(&src.kind, &buf[written..n]);
+        }
+        // Charge splice (page-remap) cost for what actually moved.
         self.inner
             .clock
             .advance(self.inner.cost.splice(written as u64));
         Ok(written)
+    }
+
+    /// Returns unconsumed staged bytes to a splice source.
+    fn splice_unread(src: &FileKind, data: &[u8]) {
+        match src {
+            FileKind::PipeRead(pipe) => pipe.unread(data),
+            FileKind::Socket(s) => s.unrecv(data),
+            _ => {}
+        }
     }
 }
 

@@ -60,13 +60,27 @@ impl Pipe {
         if st.read_closed {
             return Err(Errno::EPIPE);
         }
-        let room = self.capacity - st.buf.len();
+        // `unread` push-back can leave the buffer transiently over capacity.
+        let room = self.capacity.saturating_sub(st.buf.len());
         if room == 0 {
             return Err(Errno::EAGAIN);
         }
         let n = room.min(data.len());
         st.buf.extend(&data[..n]);
         Ok(n)
+    }
+
+    /// Puts bytes back at the *front* of the buffer, undoing a read. This
+    /// is the `splice` push-back path: when the destination accepts fewer
+    /// bytes than were staged out of the source, the remainder returns
+    /// here instead of being dropped. May leave the buffer transiently
+    /// over capacity (only ever with bytes that were just drained from
+    /// it), which `write` tolerates.
+    pub fn unread(&self, data: &[u8]) {
+        let mut st = self.state.lock();
+        for &b in data.iter().rev() {
+            st.buf.push_front(b);
+        }
     }
 
     /// Reads up to `buf.len()` bytes; 0 means EOF (write end closed and
@@ -99,7 +113,12 @@ impl Pipe {
 
     /// Free space.
     pub fn room(&self) -> usize {
-        self.capacity - self.len()
+        self.capacity.saturating_sub(self.len())
+    }
+
+    /// Nominal capacity (`F_GETPIPE_SZ`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Closes the write end.

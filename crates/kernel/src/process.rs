@@ -76,15 +76,20 @@ pub struct OpenFile {
 /// — exactly once, no matter where that drop happens (explicit `close`,
 /// `exit` teardown, a fork rollback, or a transient clone taken by
 /// `splice`/`get_file` outliving the final descriptor). Pipe ends get
-/// their half-close semantics; a listener stops accepting, so `connect`
-/// on its socket file is refused even if its `socket_nodes` registration
-/// lingers briefly.
+/// their half-close semantics; a connected socket shuts down so the peer
+/// observes EOF; a listener stops accepting, so `connect` on its socket
+/// file is refused even if its `socket_nodes` registration lingers
+/// briefly.
 impl Drop for OpenFile {
     fn drop(&mut self) {
         match &self.kind {
             FileKind::PipeRead(p) => p.close_read(),
             FileKind::PipeWrite(p) => p.close_write(),
             FileKind::Listener(l) => l.close(),
+            // Last close of a connected socket tears the connection down,
+            // as in Linux: the peer drains in-flight bytes then reads EOF,
+            // and its writes fail with ECONNRESET.
+            FileKind::Socket(s) => s.shutdown(),
             _ => {}
         }
     }

@@ -89,6 +89,25 @@ impl SocketEnd {
         self.in_pipe().close_read();
     }
 
+    /// `shutdown(SHUT_WR)`: closes the outbound direction only. The peer
+    /// drains whatever is in flight and then reads EOF; this endpoint can
+    /// still receive. This is how the attach plane propagates a
+    /// half-close across a forwarded pair.
+    pub fn shutdown_write(&self) {
+        self.out_pipe().close_write();
+    }
+
+    /// True once this endpoint's outbound direction has been shut down.
+    pub fn write_shutdown(&self) -> bool {
+        self.out_pipe().write_closed()
+    }
+
+    /// Puts bytes back at the front of the receive queue, undoing a
+    /// `recv` (the `splice` push-back path).
+    pub fn unrecv(&self, data: &[u8]) {
+        self.in_pipe().unread(data);
+    }
+
     /// Bytes queued for reading.
     pub fn pending(&self) -> usize {
         self.in_pipe().len()

@@ -46,8 +46,10 @@ pub enum Subsystem {
     PageCache,
     /// Overlay filesystem (`overlay.*`).
     Overlay,
-    /// Container engines + attach plane (`engine.*`).
+    /// Container engines (`engine.*`).
     Engine,
+    /// The attach plane: event loop, socket proxy, pty (`core.*`).
+    Core,
     /// Lock contention, bridged from `crates/lockdep` (`lockdep.*`).
     Lockdep,
     /// Block device I/O (`blockdev.*`).
@@ -55,11 +57,12 @@ pub enum Subsystem {
 }
 
 /// All subsystems in render (rank) order.
-pub const SUBSYSTEMS: [Subsystem; 6] = [
+pub const SUBSYSTEMS: [Subsystem; 7] = [
     Subsystem::Fuse,
     Subsystem::PageCache,
     Subsystem::Overlay,
     Subsystem::Engine,
+    Subsystem::Core,
     Subsystem::Lockdep,
     Subsystem::BlockDev,
 ];
@@ -77,6 +80,7 @@ impl Subsystem {
             Subsystem::PageCache => "pagecache.",
             Subsystem::Overlay => "overlay.",
             Subsystem::Engine => "engine.",
+            Subsystem::Core => "core.",
             Subsystem::Lockdep => "lockdep.",
             Subsystem::BlockDev => "blockdev.",
         }

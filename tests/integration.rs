@@ -93,12 +93,7 @@ fn slim_deploy_attach_pipeline() {
 /// CNTR works identically across all four engine flavours (paper §4).
 #[test]
 fn attach_works_on_every_engine() {
-    for kind in [
-        EngineKind::Docker,
-        EngineKind::Lxc,
-        EngineKind::Rkt,
-        EngineKind::SystemdNspawn,
-    ] {
+    for kind in EngineKind::ALL {
         let kernel = host_with_tools();
         let registry = Registry::new();
         registry.push(fat_nginx());
@@ -193,12 +188,7 @@ fn engine_name_resolution_end_to_end() {
 /// well.
 #[test]
 fn engine_matrix_attach_over_overlayfs_including_nested() {
-    for kind in [
-        EngineKind::Docker,
-        EngineKind::Lxc,
-        EngineKind::Rkt,
-        EngineKind::SystemdNspawn,
-    ] {
+    for kind in EngineKind::ALL {
         let kernel = host_with_tools();
         let registry = Registry::new();
         registry.push(fat_nginx());

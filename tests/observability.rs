@@ -67,8 +67,15 @@ fn cntrstats_and_tracing_cover_the_stack() {
         value.parse::<i64>().unwrap_or_else(|_| panic!("{line:?}"));
     }
 
-    // Live counters from at least five subsystems.
-    for prefix in ["fuse.", "pagecache.", "overlay.", "engine.", "lockdep."] {
+    // Live counters from at least six subsystems.
+    for prefix in [
+        "fuse.",
+        "pagecache.",
+        "overlay.",
+        "engine.",
+        "lockdep.",
+        "core.",
+    ] {
         assert!(
             text.lines().any(|l| l.starts_with(prefix)),
             "missing {prefix}* lines in:\n{text}"

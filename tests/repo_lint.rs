@@ -574,6 +574,7 @@ fn obs_metric_names_are_unique_and_well_formed() {
         ("PageCache", "pagecache."),
         ("Overlay", "overlay."),
         ("Engine", "engine."),
+        ("Core", "core."),
         ("Lockdep", "lockdep."),
         ("BlockDev", "blockdev."),
     ];
